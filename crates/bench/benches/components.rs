@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks of the simulator's building blocks.
+//!
+//! These measure *host* performance of the substrate data structures —
+//! useful for keeping the simulator fast enough that the table harnesses
+//! stay cheap to run. The simulated-time results live in the `table*` and
+//! `ablate_*` binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use kbuf::{Cache, DevId};
+use kfs::Fs;
+use khw::{Disk, DiskProfile, IoOp, SparseStore};
+use ksim::{Callout, Dur, EventQueue, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("ksim/event_queue_schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::ZERO + Dur::from_us(i * 7 % 997), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_callout(c: &mut Criterion) {
+    c.bench_function("ksim/callout_schedule_expire_1k", |b| {
+        b.iter(|| {
+            let mut co = Callout::new();
+            for i in 0..1000u64 {
+                co.schedule(0, i % 50, i);
+            }
+            let mut total = 0usize;
+            for tick in 0..50 {
+                total += co.expire(tick).len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("kbuf/bread_hit_loop_400", |b| {
+        // Warm a 400-buffer cache, then measure hit-path lookups.
+        let mut cache = Cache::new(400, 8192);
+        let mut fx = Vec::new();
+        for blk in 0..400u64 {
+            let kbuf::BreadOutcome::Miss(id) = cache.bread(DevId(0), blk, 8192, &mut fx) else {
+                panic!()
+            };
+            cache.biodone(id, false, &mut fx);
+            cache.brelse(id, &mut fx);
+        }
+        b.iter(|| {
+            let mut fx = Vec::new();
+            for blk in 0..400u64 {
+                let kbuf::BreadOutcome::Hit(id) = cache.bread(DevId(0), blk, 8192, &mut fx)
+                else {
+                    panic!()
+                };
+                cache.brelse(id, &mut fx);
+            }
+            black_box(fx.len())
+        })
+    });
+}
+
+fn bench_disk_model(c: &mut Criterion) {
+    c.bench_function("khw/disk_sequential_reads_256", |b| {
+        b.iter_batched(
+            || Disk::new(DiskProfile::rz58()),
+            |mut d| {
+                let mut now = SimTime::ZERO;
+                for (i, blk) in (0..256u64).enumerate() {
+                    let s = d
+                        .submit(now, i as u64, IoOp::Read, blk * 16, 8192, None)
+                        .expect("idle drive");
+                    let (done, next) = d.complete(s.finish);
+                    assert!(next.is_none());
+                    black_box(done.cache_hit);
+                    now = s.finish;
+                }
+                black_box(d.stats().requests)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fs(c: &mut Criterion) {
+    c.bench_function("kfs/mkfs_create_write_1mb", |b| {
+        b.iter(|| {
+            let mut store = SparseStore::new(16 * 1024 * 1024);
+            let mut fs = Fs::mkfs(&mut store, 8192, 128);
+            let ino = fs.create("/f").unwrap();
+            fs.write_direct(&mut store, ino, 0, &vec![7u8; 1 << 20])
+                .unwrap();
+            fs.sync(&mut store);
+            black_box(fs.free_blocks())
+        })
+    });
+
+    c.bench_function("kfs/bmap_lookup_1k", |b| {
+        let mut store = SparseStore::new(32 * 1024 * 1024);
+        let mut fs = Fs::mkfs(&mut store, 8192, 128);
+        let ino = fs.create("/f").unwrap();
+        fs.write_direct(&mut store, ino, 0, &vec![1u8; 1 << 20])
+            .unwrap();
+        b.iter(|| {
+            let mut sum = 0u64;
+            for l in 0..128u64 {
+                sum = sum.wrapping_add(fs.bmap(ino, l % 128).unwrap_or(0));
+            }
+            black_box(sum)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_callout,
+    bench_cache,
+    bench_disk_model,
+    bench_fs
+);
+criterion_main!(benches);

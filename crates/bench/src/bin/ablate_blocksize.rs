@@ -1,0 +1,26 @@
+//! Ablation: filesystem block size.
+//!
+//! The per-block costs (system calls for CP, handler chains for SCP) are
+//! fixed, so larger blocks amortise them; the paper's 8 KB FFS block is
+//! the middle of the sweep.
+
+use bench::{print_table, throughput, DiskRow, Experiment, Method};
+
+fn main() {
+    println!("Ablation — filesystem block size (RAM disk, KB/s)");
+    let mut rows = Vec::new();
+    for bs in [4096u32, 8192, 16384] {
+        let mut exp = Experiment::paper(DiskRow::Ram);
+        exp.file_bytes = 4 * 1024 * 1024; // keep the sweep fast
+        exp.config.block_size = bs;
+        let cp = throughput(&exp, Method::Cp);
+        let scp = throughput(&exp, Method::Scp);
+        rows.push(vec![
+            format!("{} KB", bs / 1024),
+            format!("{:.0}", scp.kb_per_s),
+            format!("{:.0}", cp.kb_per_s),
+            format!("{:+.0}%", (scp.kb_per_s / cp.kb_per_s - 1.0) * 100.0),
+        ]);
+    }
+    print_table(&["Block", "SCP", "CP", "%Improve"], &rows);
+}

@@ -1,0 +1,30 @@
+//! Ablation: the deferred-kernel-work budget.
+//!
+//! The budget is the mechanism behind the paper's availability result: it
+//! bounds how much of a busy CPU the splice chains may take per tick
+//! (excess waits for idle). Sweeping it trades SCP contended throughput
+//! against test-program availability on the RAM disk.
+
+use bench::{availability, idle_baseline, print_table, DiskRow, Experiment, Method};
+use ksim::Dur;
+
+fn main() {
+    println!("Ablation — softwork budget per tick (RAM disk, SCP environment)");
+    let mut rows = Vec::new();
+    for frac_pct in [5u64, 10, 20, 40, 80] {
+        let mut exp = Experiment::paper(DiskRow::Ram);
+        let tick = exp.config.machine.tick();
+        exp.config.machine.softwork_budget_per_tick =
+            Dur::from_ns(tick.as_ns() * frac_pct / 100);
+        let idle = idle_baseline(&exp);
+        let r = availability(&exp, Method::Scp, idle);
+        rows.push(vec![
+            format!("{frac_pct}%"),
+            format!("{:.2}", r.slowdown),
+            format!("{:.0}%", r.speed_fraction * 100.0),
+        ]);
+    }
+    print_table(&["Budget", "F_scp", "test speed"], &rows);
+    println!();
+    println!("default is 20% of a tick; the paper's machine showed test at 80%");
+}

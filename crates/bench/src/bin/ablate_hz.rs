@@ -1,0 +1,35 @@
+//! Ablation: the clock frequency (HZ).
+//!
+//! The splice write side is dispatched from softclock, so the callout
+//! tick is the pacing quantum of the whole pipeline (§5.2.2). Ultrix on
+//! DECstations ran HZ = 256; this sweep shows how tick granularity moves
+//! splice throughput and availability while leaving `cp` (which never
+//! touches the callout list) alone.
+
+use bench::{availability, idle_baseline, print_table, throughput, DiskRow, Experiment, Method};
+
+fn main() {
+    println!("Ablation — clock frequency (RAM disk)");
+    let mut rows = Vec::new();
+    for hz in [64u64, 128, 256, 512, 1024] {
+        let mut exp = Experiment::paper(DiskRow::Ram);
+        exp.file_bytes = 4 * 1024 * 1024;
+        exp.config.machine.hz = hz;
+        // Keep the budget the same *fraction* of a tick.
+        exp.config.machine.softwork_budget_per_tick =
+            ksim::Dur::from_ns(exp.config.machine.tick().as_ns() / 5);
+        let scp = throughput(&exp, Method::Scp);
+        let cp = throughput(&exp, Method::Cp);
+        let idle = idle_baseline(&exp);
+        let avail = availability(&exp, Method::Scp, idle);
+        rows.push(vec![
+            format!("{hz}"),
+            format!("{:.0}", scp.kb_per_s),
+            format!("{:.0}", cp.kb_per_s),
+            format!("{:.0}%", avail.speed_fraction * 100.0),
+        ]);
+    }
+    print_table(&["HZ", "SCP KB/s", "CP KB/s", "test@SCP"], &rows);
+    println!();
+    println!("Ultrix on the DECstation ran HZ = 256 (the middle row).");
+}

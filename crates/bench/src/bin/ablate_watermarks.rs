@@ -1,0 +1,39 @@
+//! Ablation: the §5.2.3 flow-control watermarks.
+//!
+//! "If the number of pending reads and the number of pending writes drop
+//! below pre-specified watermarks (currently 3 and 5, respectively), the
+//! write handler will issue up to five additional reads." This sweep
+//! varies the read-refill batch and the watermarks and reports SCP
+//! throughput on RAM and RZ58 — showing where pipelining stops helping
+//! (depth 1 serialises; large depths stop paying once devices saturate).
+
+use bench::{print_table, throughput, DiskRow, Experiment, Method};
+use splice::FlowControl;
+
+fn main() {
+    println!("Ablation — splice flow-control watermarks (SCP KB/s)");
+    let mut rows = Vec::new();
+    for (lo_r, lo_w, batch) in [
+        (1, 1, 1),
+        (1, 2, 2),
+        (3, 5, 5), // the paper's setting
+        (5, 8, 8),
+        (8, 16, 16),
+    ] {
+        let mut row = vec![format!("{lo_r}/{lo_w}/{batch}")];
+        for disk in [DiskRow::Ram, DiskRow::Rz58] {
+            let mut exp = Experiment::paper(disk);
+            exp.config.flow = FlowControl {
+                lo_reads: lo_r,
+                lo_writes: lo_w,
+                batch,
+            };
+            let r = throughput(&exp, Method::Scp);
+            row.push(format!("{:.0}", r.kb_per_s));
+        }
+        rows.push(row);
+    }
+    print_table(&["lo_r/lo_w/batch", "RAM", "RZ58"], &rows);
+    println!();
+    println!("paper setting is 3/5/5; depth 1 serialises the pipeline");
+}

@@ -1,0 +1,53 @@
+//! Block-latency report: distribution of synchronous read waits (CP) and
+//! splice block round-trips (SCP) per disk — the microscopic view behind
+//! the tables.
+
+use bench::{print_table, DiskRow, Experiment, Method};
+use splice::Kernel;
+
+fn run(disk: DiskRow, method: Method) -> Kernel {
+    let exp = Experiment::paper(disk);
+    let mut k = exp.boot();
+    k.spawn(exp.copier(method, 1));
+    let horizon = k.horizon(1200);
+    k.run_to_exit(horizon);
+    k
+}
+
+fn fmt_us(ns: Option<u64>) -> String {
+    ns.map(|v| format!("{:.0}", v as f64 / 1000.0))
+        .unwrap_or_else(|| "-".into())
+}
+
+fn main() {
+    println!("Block latency distributions (us), 8 MB copy");
+    let mut rows = Vec::new();
+    for disk in DiskRow::all() {
+        let k = run(disk, Method::Cp);
+        let h = k.read_latency();
+        rows.push(vec![
+            format!("{} CP read-wait", disk.label()),
+            format!("{}", h.count()),
+            fmt_us(h.min()),
+            fmt_us(h.mean().map(|m| m as u64)),
+            fmt_us(h.percentile(0.99)),
+            fmt_us(h.max()),
+        ]);
+        let k = run(disk, Method::Scp);
+        let h = k.splice_block_latency();
+        rows.push(vec![
+            format!("{} SCP block", disk.label()),
+            format!("{}", h.count()),
+            fmt_us(h.min()),
+            fmt_us(h.mean().map(|m| m as u64)),
+            fmt_us(h.percentile(0.99)),
+            fmt_us(h.max()),
+        ]);
+    }
+    print_table(&["Path", "n", "min", "mean", "~p99", "max"], &rows);
+    println!();
+    println!("CP read-wait: time a read(2) slept in biowait per block miss.");
+    println!("SCP block: read-issue to write-complete per spliced block");
+    println!("(several blocks in flight at once, so throughput is higher");
+    println!("than 1/latency).");
+}

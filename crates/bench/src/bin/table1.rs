@@ -1,0 +1,36 @@
+//! Regenerates Table 1: CPU availability factors, 8 MB copy.
+//!
+//! Paper values: the test program runs at 50 % of idle speed under CP on
+//! the RAM disk (60 % on RZ56/RZ58), and at 80 % under SCP on RAM/RZ58
+//! (70 % on RZ56) — a 20–70 % execution-speed improvement.
+
+use bench::{print_table, table1_row, DiskRow};
+
+fn main() {
+    println!("Table 1 — CPU Availability Factors (copying 8 MB file)");
+    let rows: Vec<Vec<String>> = DiskRow::all()
+        .into_iter()
+        .map(|d| {
+            let r = table1_row(d);
+            vec![
+                d.label().to_string(),
+                format!("{:.2}", r.f_cp),
+                format!("{:.2}", r.f_scp),
+                format!("{:.2}", r.improvement),
+                format!("{:.0}%", r.pct),
+                format!("{:.0}%", 100.0 / r.f_cp),
+                format!("{:.0}%", 100.0 / r.f_scp),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "Disk", "F_cp", "F_scp", "Improve", "%Improve", "test@CP", "test@SCP",
+        ],
+        &rows,
+    );
+    println!();
+    println!("paper:  RAM   2.00 1.25  (test at 50% / 80%)");
+    println!("paper:  RZ56  1.67 1.43  (test at 60% / 70%)");
+    println!("paper:  RZ58  1.67 1.25  (test at 60% / 80%)");
+}

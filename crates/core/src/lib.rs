@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! The paper's contribution: in-kernel data paths (`splice`) on a
+//! simulated Ultrix-style kernel.
+//!
+//! This crate assembles the substrates (`ksim`, `khw`, `kbuf`, `kfs`,
+//! `kproc`, `knet`, `kdev`) into a running uniprocessor kernel
+//! ([`Kernel`]): a deterministic event loop with a hardclock, a softclock
+//! draining the callout list, device interrupts, a round-robin scheduler,
+//! and a UNIX-ish system-call layer. On top of that substrate it
+//! implements the paper's `splice(2)` (module [`splice_engine`]):
+//!
+//! * splice descriptors snapshotting source/destination block maps (§5.2),
+//! * non-blocking `bread`/`getblk` variants with `B_CALL` completion
+//!   handlers (§5.2.1),
+//! * the callout-driven write side sharing the read buffer's data area
+//!   (§5.2.2),
+//! * watermark-based rate flow control (§5.2.3),
+//! * `FASYNC`/`SIGIO` asynchronous completion and bounded-size pacing
+//!   (§3, §4),
+//! * socket-to-socket (UDP), framebuffer-to-socket, file-to-device and
+//!   file-to-socket splices (§5.1 plus the natural extension).
+//!
+//! The related-work baselines of §7 ([`baselines`]) are implemented for
+//! comparison benches: the [PCM91] ioctl handle-passing scheme and an
+//! mmap-style copy.
+//!
+//! See `DESIGN.md` at the repository root for the substitution argument
+//! (real 1992 hardware → calibrated simulation) and the experiment index.
+//!
+//! # Example
+//!
+//! Boot a machine, put a file on one disk, and splice it to another:
+//!
+//! ```
+//! use khw::DiskProfile;
+//! use kproc::programs::Scp;
+//! use splice::KernelBuilder;
+//!
+//! let mut k = KernelBuilder::new()
+//!     .disk("d0", DiskProfile::ramdisk())
+//!     .disk("d1", DiskProfile::ramdisk())
+//!     .build();
+//! k.setup_file("/d0/data", 64 * 1024, 7);
+//! k.cold_cache();
+//!
+//! k.spawn(Box::new(Scp::new("/d0/data", "/d1/copy")));
+//! let horizon = k.horizon(60);
+//! k.run_to_exit(horizon);
+//!
+//! assert_eq!(k.verify_pattern_file("/d1/copy", 64 * 1024, 7), None);
+//! // The point of the paper: no user-space copies happened.
+//! assert_eq!(k.stats().get("copy.copyout_bytes"), 0);
+//! assert_eq!(k.stats().get("copy.copyin_bytes"), 0);
+//! ```
+
+pub mod baselines;
+pub mod event;
+pub mod harness;
+pub mod kernel;
+pub mod objects;
+pub mod splice_engine;
+pub mod syscalls;
+
+pub use harness::KernelBuilder;
+pub use kernel::{Kernel, KernelConfig};
+pub use objects::{DiskUnitKind, FileId, FileObj};
+pub use splice_engine::FlowControl;

@@ -1,0 +1,1017 @@
+//! The splice engine (§5 of the paper).
+//!
+//! A `splice(src_fd, dst_fd, size)` builds a **splice descriptor**: a
+//! self-contained record of everything the transfer needs — source and
+//! destination physical block tables obtained with `bmap`/the allocating
+//! `bmap` (§5.2), watermark counters (§5.2.3), and completion routing
+//! (`FASYNC`/`SIGIO` or a sleeping synchronous caller). "Placing all
+//! necessary information in this descriptor allows I/O to proceed without
+//! requiring the calling process context to be available."
+//!
+//! The data path then runs entirely in kernel completion context:
+//!
+//! * **Read side** (§5.2.1) — `bread_call` schedules a device read whose
+//!   `b_iodone` handler ([`crate::event::KWork::SpliceReadDone`]) fires at
+//!   the completion interrupt, and queues the write side *at the head of
+//!   the callout list*.
+//! * **Write side** (§5.2.2) — at softclock, the write handler allocates a
+//!   destination buffer *header* whose data pointer aliases the read
+//!   buffer's data area (no cache-to-cache copy) and issues `bawrite` with
+//!   a completion handler.
+//! * **Flow control** (§5.2.3) — the write-completion handler frees both
+//!   buffers and, "if the number of pending reads and the number of
+//!   pending writes drop below pre-specified watermarks (currently 3 and
+//!   5 …), will issue up to five additional reads."
+//!
+//! Character-device sinks replace the write side with paced device
+//! delivery (the audio DAC's back-pressure is what rate-limits a whole-
+//! file audio splice), and socket endpoints replace block I/O with
+//! datagram forwarding pumps.
+
+use std::collections::HashMap;
+
+use kbuf::{BreadOutcome, BufId, SpliceRef};
+use kfs::Ino;
+use khw::CopyKind;
+use knet::{Datagram, SockId};
+use kproc::{Chan, ChanSpace, Errno, Pid, SpliceLen, SyscallRet, WorkClass};
+use ksim::Dur;
+
+use crate::event::{Event, KWork};
+use crate::kernel::{IoCtx, Kernel};
+use crate::objects::{CharDev, FileId, FileObj};
+use crate::syscalls::{Cont, SyscallOutcome};
+
+/// The §5.2.3 rate-based flow-control parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowControl {
+    /// Issue more reads only when pending reads drop below this.
+    pub lo_reads: u32,
+    /// … and pending writes below this.
+    pub lo_writes: u32,
+    /// Reads issued per refill ("up to five additional reads").
+    pub batch: u32,
+}
+
+impl Default for FlowControl {
+    fn default() -> Self {
+        FlowControl {
+            lo_reads: 3,
+            lo_writes: 5,
+            batch: 5,
+        }
+    }
+}
+
+/// Source endpoint of a splice.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Source {
+    /// A regular file: block-table-driven reads.
+    File { disk: usize, ino: Ino },
+    /// A framebuffer character device.
+    Fb { cdev: usize },
+    /// A UDP socket.
+    Sock { sock: SockId },
+}
+
+/// Sink endpoint of a splice.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Sink {
+    /// A regular file: shared-header writes.
+    File { disk: usize, ino: Ino },
+    /// A character device (audio/video DAC).
+    Dev { cdev: usize },
+    /// A UDP socket.
+    Sock { sock: SockId },
+}
+
+/// One active splice.
+pub(crate) struct SpliceDesc {
+    pub id: u64,
+    pub owner: Pid,
+    pub fasync: bool,
+    pub src: Source,
+    pub dst: Sink,
+    /// Bytes this splice will move.
+    pub total: u64,
+    pub bytes_done: u64,
+    // --- file-source state (§5.2's block tables) ---
+    /// Physical source block per logical splice block.
+    pub src_map: Vec<u64>,
+    /// Bytes of each splice block that belong to the transfer.
+    pub src_lens: Vec<usize>,
+    /// Offset of the transfer within the first block.
+    pub first_boff: usize,
+    /// Physical destination block per logical splice block (file sink).
+    pub dst_map: Vec<u64>,
+    pub next_read: usize,
+    pub pending_reads: u32,
+    pub pending_writes: u32,
+    pub blocks_done: usize,
+    /// Read-side buffers awaiting their write, by logical block.
+    pub src_bufs: HashMap<u64, BufId>,
+    /// Issue instants of in-flight blocks (latency accounting).
+    pub issued_at: HashMap<u64, ksim::SimTime>,
+    // --- socket/framebuffer-source state ---
+    pub dst_sock: Option<SockId>,
+    /// Append cursor for a file sink fed by a pump.
+    pub dst_off: u64,
+    pub chunk: usize,
+    pub done: bool,
+}
+
+impl SpliceDesc {
+    fn nblocks(&self) -> usize {
+        self.src_map.len()
+    }
+}
+
+impl Kernel {
+    // ----- the splice(2) entry point -----------------------------------------
+
+    pub(crate) fn sys_splice(
+        &mut self,
+        pid: Pid,
+        sfid: FileId,
+        dfid: FileId,
+        len: SpliceLen,
+    ) -> SyscallOutcome {
+        let _m = self.cfg.machine.clone();
+        let sof = self.files.get(sfid).expect("resolved fid");
+        let dof = self.files.get(dfid).expect("resolved fid");
+        let fasync = sof.fasync || dof.fasync;
+
+        let src = match sof.obj {
+            FileObj::File { disk, ino } => Source::File { disk, ino },
+            FileObj::Chr { cdev } => match self.cdevs[cdev].dev {
+                CharDev::Fb(_) => Source::Fb { cdev },
+                _ => return self.splice_err(Errno::Enotsup),
+            },
+            FileObj::Sock { sock } => Source::Sock { sock },
+        };
+        let dst = match dof.obj {
+            FileObj::File { disk, ino } => {
+                if !dof.writable {
+                    return self.splice_err(Errno::Ebadf);
+                }
+                Sink::File { disk, ino }
+            }
+            FileObj::Chr { cdev } => match self.cdevs[cdev].dev {
+                CharDev::Audio(_) | CharDev::Video(_) => Sink::Dev { cdev },
+                CharDev::Fb(_) => return self.splice_err(Errno::Enotsup),
+            },
+            FileObj::Sock { sock } => {
+                if self.net.peer(sock).is_none() {
+                    return self.splice_err(Errno::Enotconn);
+                }
+                Sink::Sock { sock }
+            }
+        };
+
+        match src {
+            Source::File { disk, ino } => self.splice_from_file(pid, sfid, dfid, disk, ino, dst, len, fasync),
+            Source::Fb { .. } | Source::Sock { .. } => {
+                self.splice_pump_setup(pid, src, dst, len, fasync)
+            }
+        }
+    }
+
+    fn splice_err(&self, e: Errno) -> SyscallOutcome {
+        SyscallOutcome::Done {
+            cpu: self.cfg.machine.syscall,
+            ret: SyscallRet::Err(e),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn splice_from_file(
+        &mut self,
+        pid: Pid,
+        sfid: FileId,
+        dfid: FileId,
+        sdisk: usize,
+        sino: Ino,
+        dst: Sink,
+        len: SpliceLen,
+        fasync: bool,
+    ) -> SyscallOutcome {
+        let m = self.cfg.machine.clone();
+        let bs = self.cfg.block_size as u64;
+
+        // §5.2: "the size of the source file is determined from
+        // information present in the gnode."
+        let offset = self.files.get(sfid).unwrap().offset;
+        let size = self.disks[sdisk].fs.size(sino);
+        let avail = size.saturating_sub(offset);
+        let total = match len {
+            SpliceLen::Bytes(n) => n.min(avail),
+            SpliceLen::Eof => avail,
+        };
+        if total == 0 {
+            return SyscallOutcome::Done {
+                cpu: m.syscall,
+                ret: SyscallRet::Val(0),
+            };
+        }
+
+        let first_boff = (offset % bs) as usize;
+        if matches!(dst, Sink::File { .. }) {
+            // Whole-block sharing needs aligned endpoints.
+            let dst_off = self.files.get(dfid).unwrap().offset;
+            if first_boff != 0 || !dst_off.is_multiple_of(bs) {
+                return self.splice_err(Errno::Einval);
+            }
+        }
+
+        // §5.2: "The entire list of all physical block numbers comprising
+        // the source file is determined by successive calls to bmap()."
+        let first_lblk = offset / bs;
+        let nblocks = ((first_boff as u64 + total).div_ceil(bs)) as usize;
+        let mut src_map = Vec::with_capacity(nblocks);
+        let mut src_lens = Vec::with_capacity(nblocks);
+        let mut remaining = total;
+        for i in 0..nblocks {
+            let Some(pblk) = self.disks[sdisk].fs.bmap(sino, first_lblk + i as u64) else {
+                // Holes are not spliceable: there is no source block to
+                // read and share.
+                return self.splice_err(Errno::Einval);
+            };
+            src_map.push(pblk);
+            let boff = if i == 0 { first_boff } else { 0 };
+            let take = ((bs as usize) - boff).min(remaining as usize);
+            src_lens.push(take);
+            remaining -= take as u64;
+        }
+        debug_assert_eq!(remaining, 0);
+
+        // Destination mapping via the allocating bmap (§5.2: "a special
+        // version of bmap() is used … which avoids delayed-writes of
+        // freshly allocated, zero-filled blocks").
+        let mut dst_map = Vec::new();
+        if let Sink::File { disk, ino } = dst {
+            let dst_off = self.files.get(dfid).unwrap().offset;
+            let first = dst_off / bs;
+            for i in 0..nblocks {
+                match self.disks[disk].fs.bmap_alloc(ino, first + i as u64) {
+                    Ok(p) => dst_map.push(p),
+                    Err(e) => return self.splice_err(crate::splice_engine::fs_errno(e)),
+                }
+            }
+            let fs = &mut self.disks[disk].fs;
+            let new_size = dst_off + total;
+            if new_size > fs.size(ino) {
+                fs.set_size(ino, new_size);
+            }
+        }
+
+        // Advance both descriptors past the spliced range.
+        self.files.get_mut(sfid).unwrap().offset += total;
+        if matches!(dst, Sink::File { .. }) {
+            self.files.get_mut(dfid).unwrap().offset += total;
+        }
+
+        let id = self.next_splice;
+        self.next_splice += 1;
+        let desc = SpliceDesc {
+            id,
+            owner: pid,
+            fasync,
+            src: Source::File {
+                disk: sdisk,
+                ino: sino,
+            },
+            dst,
+            total,
+            bytes_done: 0,
+            src_map,
+            src_lens,
+            first_boff,
+            dst_map,
+            next_read: 0,
+            pending_reads: 0,
+            pending_writes: 0,
+            blocks_done: 0,
+            src_bufs: HashMap::new(),
+            issued_at: HashMap::new(),
+            dst_sock: match dst {
+                Sink::Sock { sock } => Some(sock),
+                _ => None,
+            },
+            dst_off: 0,
+            chunk: 0,
+            done: false,
+        };
+        self.splices.insert(id, desc);
+        self.stats.bump("splice.started");
+
+        // Descriptor build cost: the bmap walks plus allocation.
+        let mut cpu = m.syscall + m.buf_op + Dur::from_us(2) * (nblocks as u64 * 2);
+        // Initial reads are issued in the caller's context.
+        cpu += self.splice_issue_reads(id, IoCtx::Process);
+
+        if fasync {
+            SyscallOutcome::Done {
+                cpu,
+                ret: SyscallRet::Val(0),
+            }
+        } else {
+            self.conts.insert(pid, Cont::SpliceSync { desc: id });
+            SyscallOutcome::Block {
+                cpu,
+                chan: Chan::new(ChanSpace::Splice, id),
+            }
+        }
+    }
+
+    fn splice_pump_setup(
+        &mut self,
+        pid: Pid,
+        src: Source,
+        dst: Sink,
+        len: SpliceLen,
+        fasync: bool,
+    ) -> SyscallOutcome {
+        let m = self.cfg.machine.clone();
+        if matches!(dst, Sink::Dev { .. }) {
+            // device→device cross-connects are not implemented.
+            return self.splice_err(Errno::Enotsup);
+        }
+        let SpliceLen::Bytes(total) = len else {
+            // A socket or framebuffer has no EOF to reach.
+            return self.splice_err(Errno::Einval);
+        };
+        if total == 0 {
+            return SyscallOutcome::Done {
+                cpu: m.syscall,
+                ret: SyscallRet::Val(0),
+            };
+        }
+        let id = self.next_splice;
+        self.next_splice += 1;
+        let dst_sock = match dst {
+            Sink::Sock { sock } => Some(sock),
+            _ => None,
+        };
+        // File sinks append from the file's current size.
+        let dst_off = match dst {
+            Sink::File { disk, ino } => self.disks[disk].fs.size(ino),
+            _ => 0,
+        };
+        let desc = SpliceDesc {
+            id,
+            owner: pid,
+            fasync,
+            src,
+            dst,
+            total,
+            bytes_done: 0,
+            src_map: Vec::new(),
+            src_lens: Vec::new(),
+            first_boff: 0,
+            dst_map: Vec::new(),
+            next_read: 0,
+            pending_reads: 0,
+            pending_writes: 0,
+            blocks_done: 0,
+            src_bufs: HashMap::new(),
+            issued_at: HashMap::new(),
+            dst_sock,
+            dst_off,
+            chunk: 8192,
+            done: false,
+        };
+        self.splices.insert(id, desc);
+        self.stats.bump("splice.started");
+        match src {
+            Source::Sock { sock } => {
+                self.sock_splices.insert(sock, id);
+                // Drain anything already queued.
+                if self.net.rcv_ready(sock) {
+                    self.enqueue_kwork(
+                        WorkClass::Soft,
+                        m.splice_handler,
+                        KWork::SplicePump { desc: id },
+                    );
+                }
+            }
+            Source::Fb { .. } => {
+                let cost = m.splice_handler + m.copy_cost(CopyKind::Driver, 8192);
+                self.enqueue_kwork(WorkClass::Soft, cost, KWork::SplicePump { desc: id });
+            }
+            Source::File { .. } => unreachable!(),
+        }
+        if fasync {
+            SyscallOutcome::Done {
+                cpu: m.syscall,
+                ret: SyscallRet::Val(0),
+            }
+        } else {
+            self.conts.insert(pid, Cont::SpliceSync { desc: id });
+            SyscallOutcome::Block {
+                cpu: m.syscall,
+                chan: Chan::new(ChanSpace::Splice, id),
+            }
+        }
+    }
+
+    /// A synchronous splice caller woke up: deliver the byte count if the
+    /// transfer finished, or go back to sleep.
+    pub(crate) fn resume_splice_sync(&mut self, pid: Pid, desc: u64) -> SyscallOutcome {
+        let done = self.splices.get(&desc).map(|d| d.done).unwrap_or(true);
+        if !done {
+            self.conts.insert(pid, Cont::SpliceSync { desc });
+            return SyscallOutcome::Block {
+                cpu: Dur::ZERO,
+                chan: Chan::new(ChanSpace::Splice, desc),
+            };
+        }
+        let total = self
+            .splices
+            .remove(&desc)
+            .map(|d| d.bytes_done)
+            .unwrap_or(0);
+        SyscallOutcome::Done {
+            cpu: self.cfg.machine.buf_op,
+            ret: SyscallRet::Val(total as i64),
+        }
+    }
+
+    // ----- read issuing (§5.2.1 + §5.2.3) --------------------------------------
+
+    /// Issues reads up to the batch limit. Returns CPU cost incurred in
+    /// the caller's context (setup path).
+    pub(crate) fn splice_issue_reads(&mut self, id: u64, ctx: IoCtx) -> Dur {
+        let m = self.cfg.machine.clone();
+        let bs = self.cfg.block_size as usize;
+        let mut cpu = Dur::ZERO;
+        loop {
+            let Some(d) = self.splices.get(&id) else {
+                return cpu;
+            };
+            if d.done || d.pending_reads >= self.cfg.flow.batch || d.next_read >= d.nblocks() {
+                return cpu;
+            }
+            let lblk = d.next_read as u64;
+            let pblk = d.src_map[d.next_read];
+            let Source::File { disk, .. } = d.src else {
+                unreachable!("block reads only for file sources")
+            };
+            let dev = self.disks[disk].dev;
+            {
+                let now = self.q.now();
+                let d = self.splices.get_mut(&id).unwrap();
+                d.next_read += 1;
+                d.pending_reads += 1;
+                d.issued_at.insert(lblk, now);
+            }
+
+            let work = KWork::SpliceReadDone {
+                desc: id,
+                lblk,
+                buf: BufId(u32::MAX), // patched below on miss
+            };
+            let sref = SpliceRef { desc: id, lblk };
+            let tag = self.new_iodone(work);
+            let mut fx = Vec::new();
+            let out = self.cache.bread_call(dev, pblk, bs, tag, sref, &mut fx);
+            // Patch the handler with the buffer identity *before* applying
+            // effects: a synchronous (RAM-disk) completion dispatches the
+            // handler during effect application.
+            if let BreadOutcome::Miss(buf) = out {
+                if let Some(KWork::SpliceReadDone { buf: b, .. }) = self.iodone_map.get_mut(&tag)
+                {
+                    *b = buf;
+                }
+            }
+            cpu += self.apply_cache_effects(fx, ctx) + m.buf_op;
+            match out {
+                BreadOutcome::Miss(_) => {
+                    self.stats.bump("splice.reads_issued");
+                }
+                BreadOutcome::Hit(buf) => {
+                    // Already cached: the handler runs straight away.
+                    self.iodone_map.remove(&tag);
+                    self.stats.bump("splice.read_hits");
+                    self.enqueue_kwork(
+                        WorkClass::Soft,
+                        m.splice_handler,
+                        KWork::SpliceReadDone {
+                            desc: id,
+                            lblk,
+                            buf,
+                        },
+                    );
+                }
+                BreadOutcome::Busy(_) | BreadOutcome::NoBuffers => {
+                    // Back off a tick and retry.
+                    self.iodone_map.remove(&tag);
+                    let d = self.splices.get_mut(&id).unwrap();
+                    d.next_read -= 1;
+                    d.pending_reads -= 1;
+                    self.stats.bump("splice.read_backoff");
+                    self.callout
+                        .schedule(self.tick, 1, KWork::SpliceIssueReads { desc: id });
+                    return cpu;
+                }
+            }
+        }
+    }
+
+    // ----- kernel-work handlers ---------------------------------------------------
+
+    pub(crate) fn apply_splice_work(&mut self, work: KWork) {
+        match work {
+            KWork::SpliceReadDone { desc, lblk, buf } => self.splice_read_done(desc, lblk, buf),
+            KWork::SpliceWrite {
+                desc,
+                lblk,
+                src_buf,
+            } => self.splice_write(desc, lblk, src_buf),
+            KWork::SpliceWriteDone { desc, lblk, hdr } => self.splice_write_done(desc, lblk, hdr),
+            KWork::SpliceIssueReads { desc } => {
+                self.splice_issue_reads(desc, IoCtx::Kernel);
+            }
+            KWork::SpliceDevWrite {
+                desc,
+                lblk,
+                src_buf,
+                off,
+            } => self.splice_dev_write(desc, lblk, src_buf, off),
+            KWork::SpliceSockWrite {
+                desc,
+                lblk,
+                src_buf,
+            } => self.splice_sock_write(desc, lblk, src_buf),
+            KWork::SplicePump { desc } => self.splice_pump(desc),
+            KWork::SpliceComplete { desc } => self.complete_splice(desc),
+            other => panic!("not splice work: {other:?}"),
+        }
+    }
+
+    fn release_buf(&mut self, buf: BufId) {
+        let mut fx = Vec::new();
+        self.cache.brelse(buf, &mut fx);
+        let sync = self.apply_cache_effects(fx, IoCtx::Kernel);
+        debug_assert!(sync.is_zero());
+    }
+
+    /// §5.2.1: "When a read completes, the read handler is invoked which
+    /// in turn schedules a write by placing a reference to the write
+    /// handler at the head of the system callout list."
+    fn splice_read_done(&mut self, desc: u64, lblk: u64, buf: BufId) {
+        let Some(d) = self.splices.get_mut(&desc) else {
+            self.release_buf(buf);
+            return;
+        };
+        d.pending_reads -= 1;
+        d.src_bufs.insert(lblk, buf);
+        let dst = d.dst;
+        match dst {
+            Sink::File { .. } => {
+                let d = self.splices.get_mut(&desc).unwrap();
+                d.pending_writes += 1;
+                self.callout.schedule_head(
+                    self.tick,
+                    KWork::SpliceWrite {
+                        desc,
+                        lblk,
+                        src_buf: buf,
+                    },
+                );
+            }
+            Sink::Dev { .. } => {
+                let d = self.splices.get_mut(&desc).unwrap();
+                let len = d.src_lens[lblk as usize];
+                d.pending_writes += 1;
+                let cost = self.cfg.machine.splice_handler
+                    + self.cfg.machine.copy_cost(CopyKind::Driver, len);
+                self.enqueue_kwork(
+                    WorkClass::Soft,
+                    cost,
+                    KWork::SpliceDevWrite {
+                        desc,
+                        lblk,
+                        src_buf: buf,
+                        off: 0,
+                    },
+                );
+            }
+            Sink::Sock { .. } => {
+                let d = self.splices.get_mut(&desc).unwrap();
+                d.pending_writes += 1;
+                let cost = self.cfg.machine.splice_handler + self.cfg.machine.udp_packet;
+                self.enqueue_kwork(
+                    WorkClass::Soft,
+                    cost,
+                    KWork::SpliceSockWrite {
+                        desc,
+                        lblk,
+                        src_buf: buf,
+                    },
+                );
+            }
+        }
+    }
+
+    /// §5.2.2: the write side — allocate a header sharing the read
+    /// buffer's data area and start the asynchronous write.
+    fn splice_write(&mut self, desc: u64, lblk: u64, src_buf: BufId) {
+        let Some(d) = self.splices.get(&desc) else {
+            self.release_buf(src_buf);
+            return;
+        };
+        let Sink::File { disk, .. } = d.dst else {
+            panic!("splice_write with non-file sink")
+        };
+        let dst_pblk = d.dst_map[lblk as usize];
+        let dev = self.disks[disk].dev;
+        let bs = self.cfg.block_size as usize;
+        let data = self.cache.data(src_buf);
+        let sref = SpliceRef { desc, lblk };
+        match self.cache.alloc_shared_header(dev, dst_pblk, data, bs, sref) {
+            Some(hdr) => {
+                self.stats.bump("splice.shared_writes");
+                let tag = self.new_iodone(KWork::SpliceWriteDone { desc, lblk, hdr });
+                let mut fx = Vec::new();
+                self.cache.bawrite_call(hdr, tag, &mut fx);
+                let sync = self.apply_cache_effects(fx, IoCtx::Kernel);
+                debug_assert!(sync.is_zero());
+            }
+            None => {
+                // Destination block busy: retry next tick.
+                self.stats.bump("splice.write_backoff");
+                self.callout.schedule(
+                    self.tick,
+                    1,
+                    KWork::SpliceWrite {
+                        desc,
+                        lblk,
+                        src_buf,
+                    },
+                );
+            }
+        }
+    }
+
+    /// §5.2.2–§5.2.3: the write-completion handler frees both buffers and
+    /// refills the read pipeline when both watermarks allow.
+    fn splice_write_done(&mut self, desc: u64, lblk: u64, hdr: BufId) {
+        self.release_buf(hdr);
+        let src_buf = self
+            .splices
+            .get_mut(&desc)
+            .and_then(|d| d.src_bufs.remove(&lblk));
+        if let Some(buf) = src_buf {
+            // "It retrieves a pointer to the source-side buffer … and
+            // frees it by calling brelse()." The source block stays
+            // cached.
+            self.release_buf(buf);
+        }
+        self.splice_block_completed(desc, lblk);
+    }
+
+    /// Device-sink write side: deliver as much of the block as the device
+    /// accepts, honouring its pacing back-pressure; the remainder retries
+    /// via the callout when space drains.
+    fn splice_dev_write(&mut self, desc: u64, lblk: u64, src_buf: BufId, off: usize) {
+        let now = self.q.now();
+        let Some(d) = self.splices.get(&desc) else {
+            self.release_buf(src_buf);
+            return;
+        };
+        let Sink::Dev { cdev } = d.dst else {
+            panic!("splice_dev_write with non-device sink")
+        };
+        let len = d.src_lens[lblk as usize];
+        let want = len - off;
+        let (accepted, retry_at) = match &mut self.cdevs[cdev].dev {
+            CharDev::Audio(a) => {
+                let took = a.write_some(now, want);
+                let retry = if took < want {
+                    Some(a.time_for_space(now, want - took))
+                } else {
+                    None
+                };
+                (took, retry)
+            }
+            CharDev::Video(v) => {
+                v.write(now, want);
+                (want, None)
+            }
+            CharDev::Fb(_) => unreachable!("fb is not a sink"),
+        };
+        if accepted > 0 {
+            self.stats.add("copy.driver_bytes", accepted as u64);
+        }
+        match retry_at {
+            None => {
+                let d = self.splices.get_mut(&desc).unwrap();
+                d.src_bufs.remove(&lblk);
+                self.release_buf(src_buf);
+                self.splice_block_completed(desc, lblk);
+            }
+            Some(at) => {
+                let delay = at.saturating_since(now);
+                let ticks = self.dur_to_ticks(delay);
+                self.stats.bump("splice.dev_backpressure");
+                self.callout.schedule(
+                    self.tick,
+                    ticks,
+                    KWork::SpliceDevWrite {
+                        desc,
+                        lblk,
+                        src_buf,
+                        off: off + accepted,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Socket-sink write side: one block becomes one datagram, no user
+    /// copy.
+    fn splice_sock_write(&mut self, desc: u64, lblk: u64, src_buf: BufId) {
+        let now = self.q.now();
+        let Some(d) = self.splices.get(&desc) else {
+            self.release_buf(src_buf);
+            return;
+        };
+        let sock = d.dst_sock.expect("socket sink");
+        let len = d.src_lens[lblk as usize];
+        let boff = if lblk == 0 { d.first_boff } else { 0 };
+        let payload = {
+            let data = self.cache.data(src_buf);
+            let bytes = data.bytes();
+            bytes[boff..boff + len].to_vec()
+        };
+        match self.net.send(now, sock, len) {
+            Ok(tx) => {
+                if let Some(dst) = tx.dst {
+                    let src_addr = self.net.source_addr(sock).expect("socket exists");
+                    self.q.schedule(
+                        tx.arrival.max(now),
+                        Event::NetDeliver {
+                            dst,
+                            dgram: Datagram {
+                                src: src_addr,
+                                data: payload,
+                            },
+                        },
+                    );
+                }
+            }
+            Err(_) => {
+                self.stats.bump("splice.sock_send_err");
+            }
+        }
+        let d = self.splices.get_mut(&desc).unwrap();
+        d.src_bufs.remove(&lblk);
+        self.release_buf(src_buf);
+        self.splice_block_completed(desc, lblk);
+    }
+
+    /// Common completion/flow-control tail of the write side.
+    fn splice_block_completed(&mut self, desc: u64, lblk: u64) {
+        let flow = self.cfg.flow;
+        let Some(d) = self.splices.get_mut(&desc) else {
+            return;
+        };
+        d.pending_writes -= 1;
+        d.blocks_done += 1;
+        d.bytes_done += d.src_lens[lblk as usize] as u64;
+        let issued = d.issued_at.remove(&lblk);
+        let finished = d.blocks_done == d.nblocks();
+        let refill = !finished && d.pending_reads < flow.lo_reads && d.pending_writes < flow.lo_writes;
+        if let Some(at) = issued {
+            self.splice_block_latency
+                .record(self.q.now().since(at).as_ns());
+        }
+        if finished {
+            let cost = self.cfg.machine.signal_delivery;
+            self.enqueue_kwork(WorkClass::Soft, cost, KWork::SpliceComplete { desc });
+        } else if refill {
+            let cost =
+                self.cfg.machine.splice_handler + self.cfg.machine.buf_op * flow.batch as u64;
+            self.enqueue_kwork(WorkClass::Soft, cost, KWork::SpliceIssueReads { desc });
+        }
+    }
+
+    /// Socket/framebuffer source pump: move one chunk toward the sink.
+    fn splice_pump(&mut self, desc: u64) {
+        let now = self.q.now();
+        let m = self.cfg.machine.clone();
+        let Some(d) = self.splices.get(&desc) else {
+            return;
+        };
+        if d.done {
+            return;
+        }
+        let src = d.src;
+        let dst = d.dst;
+        let remaining = d.total - d.bytes_done;
+        let chunk = d.chunk.min(remaining as usize);
+
+        let payload: Option<Vec<u8>> = match src {
+            Source::Sock { sock } => self
+                .net
+                .recv(sock)
+                .ok()
+                .flatten()
+                .map(|dgram| dgram.data),
+            Source::Fb { cdev } => {
+                let CharDev::Fb(fb) = &mut self.cdevs[cdev].dev else {
+                    unreachable!()
+                };
+                Some(fb.read(now, chunk))
+            }
+            Source::File { .. } => unreachable!(),
+        };
+        let Some(payload) = payload else {
+            // Socket empty: the next delivery re-pumps.
+            return;
+        };
+        let n = payload.len().min(remaining as usize) as u64;
+        let payload = payload[..n as usize].to_vec();
+        match dst {
+            Sink::Sock { sock } => {
+                if let Ok(tx) = self.net.send(now, sock, payload.len()) {
+                    if let Some(dst) = tx.dst {
+                        let src_addr = self.net.source_addr(sock).expect("socket exists");
+                        self.q.schedule(
+                            tx.arrival.max(now),
+                            Event::NetDeliver {
+                                dst,
+                                dgram: Datagram {
+                                    src: src_addr,
+                                    data: payload,
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+            Sink::File { disk, ino } => {
+                let off = self.splices[&desc].dst_off;
+                if !self.splice_append_file(disk, ino, off, &payload) {
+                    // Transient cache shortage: put the data back (socket
+                    // sources) and retry at the next tick.
+                    if let Source::Sock { sock } = src {
+                        let src_addr =
+                            self.net.source_addr(sock).unwrap_or(knet::NetAddr {
+                                host: 1,
+                                port: 0,
+                            });
+                        let _ = self.net.requeue_front(
+                            sock,
+                            Datagram {
+                                src: src_addr,
+                                data: payload,
+                            },
+                        );
+                    }
+                    self.stats.bump("splice.append_backoff");
+                    self.callout
+                        .schedule(self.tick, 1, KWork::SplicePump { desc });
+                    return;
+                }
+                let d = self.splices.get_mut(&desc).unwrap();
+                d.dst_off += n;
+            }
+            Sink::Dev { .. } => unreachable!("pump sinks are sockets or files"),
+        }
+        let d = self.splices.get_mut(&desc).unwrap();
+        d.bytes_done += n;
+        let finished = d.bytes_done >= d.total;
+        if finished {
+            self.enqueue_kwork(
+                WorkClass::Soft,
+                m.signal_delivery,
+                KWork::SpliceComplete { desc },
+            );
+            return;
+        }
+        // Keep pumping: a framebuffer is always ready; a socket pumps
+        // again if more data is queued (otherwise the next delivery
+        // triggers it).
+        let again = match src {
+            Source::Fb { .. } => true,
+            Source::Sock { sock } => self.net.rcv_ready(sock),
+            Source::File { .. } => unreachable!(),
+        };
+        if again {
+            let cost = match src {
+                Source::Fb { .. } => {
+                    m.splice_handler + m.udp_packet + m.copy_cost(CopyKind::Driver, chunk)
+                }
+                _ => m.splice_handler + m.udp_packet,
+            };
+            self.enqueue_kwork(WorkClass::Soft, cost, KWork::SplicePump { desc });
+        }
+    }
+
+    /// Appends `data` to a file at `off` through the buffer cache, in
+    /// kernel context (no `copyin`; the data is already in the kernel).
+    /// Returns `false` on a transient buffer shortage — the caller must
+    /// retry with the same bytes (block rewrites are idempotent).
+    fn splice_append_file(&mut self, disk: usize, ino: kfs::Ino, off: u64, data: &[u8]) -> bool {
+        let bs = self.cfg.block_size as usize;
+        let dev = self.disks[disk].dev;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = off + pos as u64;
+            let lblk = abs / bs as u64;
+            let boff = (abs % bs as u64) as usize;
+            let take = (bs - boff).min(data.len() - pos);
+            let existed = self.disks[disk].fs.bmap(ino, lblk).is_some();
+            let Ok(pblk) = self.disks[disk].fs.bmap_alloc(ino, lblk) else {
+                // Out of space: drop the rest (UDP semantics for a
+                // receive-to-file splice).
+                self.stats.bump("splice.append_enospc");
+                return true;
+            };
+            let mut fx = Vec::new();
+            let out = self.cache.getblk(dev, pblk, bs, &mut fx);
+            let sync = self.apply_cache_effects(fx, IoCtx::Kernel);
+            debug_assert!(sync.is_zero());
+            match out {
+                kbuf::GetblkOutcome::Held(buf) => {
+                    let full = boff == 0 && take == bs;
+                    if !full && !existed {
+                        self.cache.data(buf).bytes_mut().fill(0);
+                    }
+                    {
+                        let d = self.cache.data(buf);
+                        let mut bytes = d.bytes_mut();
+                        bytes[boff..boff + take].copy_from_slice(&data[pos..pos + take]);
+                    }
+                    let mut fx = Vec::new();
+                    if full {
+                        self.cache.bawrite(buf, &mut fx);
+                    } else {
+                        self.cache.bdwrite(buf, &mut fx);
+                    }
+                    self.apply_cache_effects(fx, IoCtx::Kernel);
+                }
+                kbuf::GetblkOutcome::Busy(_) | kbuf::GetblkOutcome::NoBuffers => {
+                    return false;
+                }
+            }
+            pos += take;
+            let fs = &mut self.disks[disk].fs;
+            let end = abs + take as u64;
+            if end > fs.size(ino) {
+                fs.set_size(ino, end);
+            }
+        }
+        true
+    }
+
+    /// Forces completion (source closed mid-splice = EOF).
+    pub(crate) fn finish_splice_now(&mut self, desc: u64) {
+        self.complete_splice(desc);
+    }
+
+    /// Finalisation: `SIGIO` for asynchronous splices (§3), a wakeup for
+    /// synchronous callers, device stream teardown.
+    fn complete_splice(&mut self, desc: u64) {
+        let now = self.q.now();
+        let Some(d) = self.splices.get_mut(&desc) else {
+            return;
+        };
+        d.done = true;
+        let owner = d.owner;
+        let fasync = d.fasync;
+        let dst = d.dst;
+        let src = d.src;
+        if let Sink::Dev { cdev } = dst {
+            if let CharDev::Audio(a) = &mut self.cdevs[cdev].dev {
+                a.end_stream(now);
+            }
+        }
+        if let Source::Sock { sock } = src {
+            self.sock_splices.remove(&sock);
+        }
+        self.stats.bump("splice.completed");
+        let id = self.splices[&desc].id;
+        self.trace.emit(now, || format!("splice {id} complete"));
+        if fasync {
+            self.splices.remove(&desc);
+            self.post_sigio(owner);
+        } else {
+            self.wakeup(Chan::new(ChanSpace::Splice, desc));
+        }
+    }
+}
+
+pub(crate) fn fs_errno(e: kfs::FsError) -> Errno {
+    match e {
+        kfs::FsError::NotFound => Errno::Enoent,
+        kfs::FsError::Exists => Errno::Eexist,
+        kfs::FsError::NotDir => Errno::Enotdir,
+        kfs::FsError::IsDir => Errno::Eisdir,
+        kfs::FsError::NoSpace => Errno::Enospc,
+        kfs::FsError::FileTooBig => Errno::Efbig,
+        kfs::FsError::BadName => Errno::Einval,
+        kfs::FsError::NotEmpty => Errno::Enotempty,
+    }
+}

@@ -1,0 +1,96 @@
+//! End-to-end smoke tests: boot the kernel, run real programs, verify
+//! data integrity and basic sanity of the measurements.
+
+use khw::DiskProfile;
+use kproc::programs::{Cp, Scp};
+use kproc::ProcState;
+use splice::KernelBuilder;
+
+const MB: u64 = 1024 * 1024;
+
+#[test]
+fn cp_copies_a_file_on_the_ram_disk() {
+    let mut k = KernelBuilder::new()
+        .disk("ram", DiskProfile::ramdisk())
+        .build();
+    k.setup_file("/ram/src", MB, 42);
+    k.cold_cache();
+
+    let pid = k.spawn(Box::new(Cp::new("/ram/src", "/ram/dst")));
+    let horizon = k.horizon(120);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    assert_eq!(k.verify_pattern_file("/ram/dst", MB, 42), None);
+    // cp moves every byte through user space, twice.
+    assert_eq!(k.stats().get("copy.copyout_bytes"), MB);
+    assert_eq!(k.stats().get("copy.copyin_bytes"), MB);
+    assert!(k.fsck_all().is_empty());
+}
+
+#[test]
+fn scp_splices_a_file_on_the_ram_disk() {
+    let mut k = KernelBuilder::new()
+        .disk("ram", DiskProfile::ramdisk())
+        .build();
+    k.setup_file("/ram/src", MB, 7);
+    k.cold_cache();
+
+    let pid = k.spawn(Box::new(Scp::new("/ram/src", "/ram/dst")));
+    let horizon = k.horizon(120);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    assert_eq!(k.verify_pattern_file("/ram/dst", MB, 7), None);
+    // The whole point: zero user-space copies.
+    assert_eq!(k.stats().get("copy.copyout_bytes"), 0);
+    assert_eq!(k.stats().get("copy.copyin_bytes"), 0);
+    assert!(k.stats().get("splice.shared_writes") >= MB / 8192);
+    assert!(k.fsck_all().is_empty());
+}
+
+#[test]
+fn cp_and_scp_work_across_scsi_disks() {
+    for make in [
+        Box::new(|| Box::new(Cp::new("/d0/src", "/d1/dst")) as Box<dyn kproc::Program>)
+            as Box<dyn Fn() -> Box<dyn kproc::Program>>,
+        Box::new(|| Box::new(Scp::new("/d0/src", "/d1/dst")) as Box<dyn kproc::Program>),
+    ] {
+        let mut k = KernelBuilder::paper_machine(DiskProfile::rz56()).build();
+        k.setup_file("/d0/src", MB, 3);
+        k.cold_cache();
+        let pid = k.spawn(make());
+        let horizon = k.horizon(300);
+        k.run_to_exit(horizon);
+        assert!(
+            matches!(k.procs().must(pid).state, ProcState::Exited(0)),
+            "copy program failed"
+        );
+        assert_eq!(k.verify_pattern_file("/d1/dst", MB, 3), None);
+        assert!(k.fsck_all().is_empty());
+    }
+}
+
+#[test]
+fn splice_is_faster_than_cp_on_the_ram_disk() {
+    let run = |splice: bool| -> f64 {
+        let mut k = KernelBuilder::new()
+            .disk("ram", DiskProfile::ramdisk())
+            .build();
+        k.setup_file("/ram/src", 4 * MB, 9);
+        k.cold_cache();
+        let t0 = k.now();
+        if splice {
+            k.spawn(Box::new(Scp::new("/ram/src", "/ram/dst")));
+        } else {
+            k.spawn(Box::new(Cp::new("/ram/src", "/ram/dst")));
+        }
+        let horizon = k.horizon(600);
+        let t1 = k.run_to_exit(horizon);
+        t1.since(t0).as_secs_f64()
+    };
+    let t_cp = run(false);
+    let t_scp = run(true);
+    assert!(
+        t_scp < t_cp * 0.8,
+        "splice ({t_scp:.3}s) should clearly beat cp ({t_cp:.3}s) on the RAM disk"
+    );
+}

@@ -1,0 +1,458 @@
+//! splice(2) argument validation and edge cases.
+
+use khw::DiskProfile;
+use kproc::{
+    Errno, Fd, OpenFlags, ProcState, Program, SpliceLen, Step, SyscallRet, SyscallReq, UserCtx,
+};
+use splice::{Kernel, KernelBuilder};
+
+/// Opens two paths and splices between them once, recording the result.
+struct SpliceProbe {
+    src: String,
+    src_flags: OpenFlags,
+    dst: String,
+    dst_flags: OpenFlags,
+    len: SpliceLen,
+    /// Seek the source here before splicing.
+    src_seek: Option<u64>,
+    st: u32,
+    src_fd: Option<Fd>,
+    dst_fd: Option<Fd>,
+    result: std::rc::Rc<std::cell::RefCell<Option<SyscallRet>>>,
+}
+
+impl SpliceProbe {
+    fn new(
+        src: &str,
+        dst: &str,
+        len: SpliceLen,
+    ) -> (SpliceProbe, std::rc::Rc<std::cell::RefCell<Option<SyscallRet>>>) {
+        let result = std::rc::Rc::new(std::cell::RefCell::new(None));
+        (
+            SpliceProbe {
+                src: src.into(),
+                src_flags: OpenFlags::RDONLY,
+                dst: dst.into(),
+                dst_flags: OpenFlags::CREATE,
+                len,
+                src_seek: None,
+                st: 0,
+                src_fd: None,
+                dst_fd: None,
+                result: result.clone(),
+            },
+            result,
+        )
+    }
+}
+
+impl Program for SpliceProbe {
+    fn step(&mut self, ctx: &mut UserCtx) -> Step {
+        match self.st {
+            0 => {
+                self.st = 1;
+                Step::Syscall(SyscallReq::Open {
+                    path: self.src.clone(),
+                    flags: self.src_flags,
+                })
+            }
+            1 => {
+                self.src_fd = ctx.take_ret().as_fd();
+                if self.src_fd.is_none() {
+                    return Step::Exit(2);
+                }
+                self.st = 2;
+                Step::Syscall(SyscallReq::Open {
+                    path: self.dst.clone(),
+                    flags: self.dst_flags,
+                })
+            }
+            2 => {
+                self.dst_fd = ctx.take_ret().as_fd();
+                if self.dst_fd.is_none() {
+                    return Step::Exit(2);
+                }
+                if let Some(pos) = self.src_seek.take() {
+                    self.st = 3;
+                    return Step::Syscall(SyscallReq::Lseek {
+                        fd: self.src_fd.unwrap(),
+                        pos,
+                    });
+                }
+                self.st = 4;
+                self.step(ctx)
+            }
+            3 => {
+                ctx.take_ret();
+                self.st = 4;
+                self.step(ctx)
+            }
+            4 => {
+                self.st = 5;
+                Step::Syscall(SyscallReq::Splice {
+                    src: self.src_fd.unwrap(),
+                    dst: self.dst_fd.unwrap(),
+                    len: self.len,
+                })
+            }
+            5 => {
+                *self.result.borrow_mut() = Some(ctx.take_ret());
+                Step::Exit(0)
+            }
+            _ => Step::Exit(0),
+        }
+    }
+}
+
+fn ram_kernel() -> Kernel {
+    KernelBuilder::paper_machine(DiskProfile::ramdisk()).build()
+}
+
+fn run_probe(k: &mut Kernel, probe: SpliceProbe) -> Option<SyscallRet> {
+    let pid = k.spawn(Box::new(probe));
+    let horizon = k.horizon(120);
+    k.run_to_exit(horizon);
+    assert!(!matches!(k.procs().must(pid).state, ProcState::Exited(2)));
+    None // callers read the shared cell
+}
+
+#[test]
+fn splice_with_unaligned_source_offset_is_einval_for_file_sink() {
+    let mut k = ram_kernel();
+    k.setup_file("/d0/src", 100_000, 1);
+    k.cold_cache();
+    let (mut probe, result) = SpliceProbe::new("/d0/src", "/d1/dst", SpliceLen::Eof);
+    probe.src_seek = Some(1000); // not block-aligned
+    run_probe(&mut k, probe);
+    assert_eq!(
+        result.borrow().clone(),
+        Some(SyscallRet::Err(Errno::Einval))
+    );
+}
+
+#[test]
+fn splice_from_a_hole_is_einval() {
+    let mut k = ram_kernel();
+    // Build a file whose first block is a hole.
+    {
+        let unit = &mut k.disks_mut()[0];
+        let ino = unit.fs.create("/holey").unwrap();
+        let (kind, fs) = (&mut unit.kind, &mut unit.fs);
+        fs.write_direct(kind.store_mut(), ino, 16_384, b"tail")
+            .unwrap();
+        fs.sync(kind.store_mut());
+    }
+    k.cold_cache();
+    let (probe, result) = SpliceProbe::new("/d0/holey", "/d1/dst", SpliceLen::Eof);
+    run_probe(&mut k, probe);
+    assert_eq!(
+        result.borrow().clone(),
+        Some(SyscallRet::Err(Errno::Einval))
+    );
+}
+
+#[test]
+fn splice_clamps_length_to_eof() {
+    let mut k = ram_kernel();
+    k.setup_file("/d0/src", 50_000, 2);
+    k.cold_cache();
+    let (probe, result) = SpliceProbe::new(
+        "/d0/src",
+        "/d1/dst",
+        SpliceLen::Bytes(1 << 30), // far past EOF
+    );
+    run_probe(&mut k, probe);
+    assert_eq!(result.borrow().clone(), Some(SyscallRet::Val(50_000)));
+    assert_eq!(k.verify_pattern_file("/d1/dst", 50_000, 2), None);
+}
+
+#[test]
+fn splice_at_eof_returns_zero() {
+    let mut k = ram_kernel();
+    k.setup_file("/d0/src", 8_192, 3);
+    k.cold_cache();
+    let (mut probe, result) = SpliceProbe::new("/d0/src", "/d1/dst", SpliceLen::Eof);
+    probe.src_seek = Some(8_192);
+    run_probe(&mut k, probe);
+    assert_eq!(result.borrow().clone(), Some(SyscallRet::Val(0)));
+}
+
+#[test]
+fn splice_to_unconnected_socket_is_enotconn() {
+    let mut k = ram_kernel();
+    k.setup_file("/d0/src", 8_192, 4);
+    k.cold_cache();
+
+    struct P {
+        st: u32,
+        src: Option<Fd>,
+        sock: Option<Fd>,
+        result: std::rc::Rc<std::cell::RefCell<Option<SyscallRet>>>,
+    }
+    impl Program for P {
+        fn step(&mut self, ctx: &mut UserCtx) -> Step {
+            match self.st {
+                0 => {
+                    self.st = 1;
+                    Step::Syscall(SyscallReq::Open {
+                        path: "/d0/src".into(),
+                        flags: OpenFlags::RDONLY,
+                    })
+                }
+                1 => {
+                    self.src = ctx.take_ret().as_fd();
+                    self.st = 2;
+                    Step::Syscall(SyscallReq::Socket)
+                }
+                2 => {
+                    self.sock = ctx.take_ret().as_fd();
+                    self.st = 3;
+                    Step::Syscall(SyscallReq::Splice {
+                        src: self.src.unwrap(),
+                        dst: self.sock.unwrap(),
+                        len: SpliceLen::Bytes(8192),
+                    })
+                }
+                3 => {
+                    *self.result.borrow_mut() = Some(ctx.take_ret());
+                    Step::Exit(0)
+                }
+                _ => Step::Exit(0),
+            }
+        }
+    }
+    let result = std::rc::Rc::new(std::cell::RefCell::new(None));
+    k.spawn(Box::new(P {
+        st: 0,
+        src: None,
+        sock: None,
+        result: result.clone(),
+    }));
+    let horizon = k.horizon(60);
+    k.run_to_exit(horizon);
+    assert_eq!(
+        result.borrow().clone(),
+        Some(SyscallRet::Err(Errno::Enotconn))
+    );
+}
+
+#[test]
+fn socket_source_requires_byte_count() {
+    // SPLICE_EOF on a socket source has no meaning: Einval.
+    let mut k = ram_kernel();
+    struct P {
+        st: u32,
+        a: Option<Fd>,
+        b: Option<Fd>,
+        result: std::rc::Rc<std::cell::RefCell<Option<SyscallRet>>>,
+    }
+    impl Program for P {
+        fn step(&mut self, ctx: &mut UserCtx) -> Step {
+            match self.st {
+                0 => {
+                    self.st = 1;
+                    Step::Syscall(SyscallReq::Socket)
+                }
+                1 => {
+                    self.a = ctx.take_ret().as_fd();
+                    self.st = 2;
+                    Step::Syscall(SyscallReq::Socket)
+                }
+                2 => {
+                    self.b = ctx.take_ret().as_fd();
+                    self.st = 3;
+                    Step::Syscall(SyscallReq::Connect {
+                        fd: self.b.unwrap(),
+                        addr: kproc::SockAddr { host: 1, port: 1 },
+                    })
+                }
+                3 => {
+                    ctx.take_ret();
+                    self.st = 4;
+                    Step::Syscall(SyscallReq::Splice {
+                        src: self.a.unwrap(),
+                        dst: self.b.unwrap(),
+                        len: SpliceLen::Eof,
+                    })
+                }
+                4 => {
+                    *self.result.borrow_mut() = Some(ctx.take_ret());
+                    Step::Exit(0)
+                }
+                _ => Step::Exit(0),
+            }
+        }
+    }
+    let result = std::rc::Rc::new(std::cell::RefCell::new(None));
+    k.spawn(Box::new(P {
+        st: 0,
+        a: None,
+        b: None,
+        result: result.clone(),
+    }));
+    let horizon = k.horizon(60);
+    k.run_to_exit(horizon);
+    assert_eq!(
+        result.borrow().clone(),
+        Some(SyscallRet::Err(Errno::Einval))
+    );
+}
+
+#[test]
+fn bounded_splices_advance_the_offset() {
+    // Two back-to-back bounded splices move consecutive ranges (the §4
+    // video pattern).
+    let mut k = ram_kernel();
+    k.setup_file("/d0/src", 32_768, 5);
+    k.cold_cache();
+
+    struct P {
+        st: u32,
+        src: Option<Fd>,
+        dst: Option<Fd>,
+        moved: std::rc::Rc<std::cell::RefCell<Vec<i64>>>,
+    }
+    impl Program for P {
+        fn step(&mut self, ctx: &mut UserCtx) -> Step {
+            match self.st {
+                0 => {
+                    self.st = 1;
+                    Step::Syscall(SyscallReq::Open {
+                        path: "/d0/src".into(),
+                        flags: OpenFlags::RDONLY,
+                    })
+                }
+                1 => {
+                    self.src = ctx.take_ret().as_fd();
+                    self.st = 2;
+                    Step::Syscall(SyscallReq::Open {
+                        path: "/d1/dst".into(),
+                        flags: OpenFlags::CREATE,
+                    })
+                }
+                2 => {
+                    self.dst = ctx.take_ret().as_fd();
+                    self.st = 3;
+                    Step::Syscall(SyscallReq::Splice {
+                        src: self.src.unwrap(),
+                        dst: self.dst.unwrap(),
+                        len: SpliceLen::Bytes(16_384),
+                    })
+                }
+                3 | 4 => {
+                    self.moved.borrow_mut().push(ctx.take_ret().as_val());
+                    self.st += 1;
+                    if self.st == 5 {
+                        return Step::Exit(0);
+                    }
+                    Step::Syscall(SyscallReq::Splice {
+                        src: self.src.unwrap(),
+                        dst: self.dst.unwrap(),
+                        len: SpliceLen::Bytes(16_384),
+                    })
+                }
+                _ => Step::Exit(0),
+            }
+        }
+    }
+    let moved = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    k.spawn(Box::new(P {
+        st: 0,
+        src: None,
+        dst: None,
+        moved: moved.clone(),
+    }));
+    let horizon = k.horizon(120);
+    k.run_to_exit(horizon);
+    assert_eq!(moved.borrow().clone(), vec![16_384, 16_384]);
+    assert_eq!(k.verify_pattern_file("/d1/dst", 32_768, 5), None);
+}
+
+#[test]
+fn socket_to_file_splice_receives_to_disk() {
+    // Extension beyond §5.1's list: an in-kernel receive-to-file path.
+    use kproc::programs::{UdpSource};
+    let mut k = ram_kernel();
+    let total = 10u64 * 2048;
+
+    struct Receiver {
+        st: u32,
+        sock: Option<Fd>,
+        file: Option<Fd>,
+        result: std::rc::Rc<std::cell::RefCell<Option<SyscallRet>>>,
+    }
+    impl Program for Receiver {
+        fn step(&mut self, ctx: &mut UserCtx) -> Step {
+            match self.st {
+                0 => {
+                    self.st = 1;
+                    Step::Syscall(SyscallReq::Socket)
+                }
+                1 => {
+                    self.sock = ctx.take_ret().as_fd();
+                    self.st = 2;
+                    Step::Syscall(SyscallReq::Bind {
+                        fd: self.sock.unwrap(),
+                        port: 7100,
+                    })
+                }
+                2 => {
+                    ctx.take_ret();
+                    self.st = 3;
+                    Step::Syscall(SyscallReq::Open {
+                        path: "/d1/incoming".into(),
+                        flags: OpenFlags::CREATE,
+                    })
+                }
+                3 => {
+                    self.file = ctx.take_ret().as_fd();
+                    self.st = 4;
+                    Step::Syscall(SyscallReq::Splice {
+                        src: self.sock.unwrap(),
+                        dst: self.file.unwrap(),
+                        len: SpliceLen::Bytes(10 * 2048),
+                    })
+                }
+                4 => {
+                    *self.result.borrow_mut() = Some(ctx.take_ret());
+                    self.st = 5;
+                    Step::Syscall(SyscallReq::Fsync(self.file.unwrap()))
+                }
+                5 => {
+                    ctx.take_ret();
+                    Step::Exit(0)
+                }
+                _ => Step::Exit(0),
+            }
+        }
+    }
+    let result = std::rc::Rc::new(std::cell::RefCell::new(None));
+    let rx = k.spawn(Box::new(Receiver {
+        st: 0,
+        sock: None,
+        file: None,
+        result: result.clone(),
+    }));
+    k.spawn(Box::new(UdpSource::new(
+        kproc::SockAddr { host: 1, port: 7100 },
+        2048,
+        10,
+        ksim::Dur::from_ms(2),
+        55,
+    )));
+    let horizon = k.horizon(120);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(rx).state, ProcState::Exited(0)));
+    assert_eq!(result.borrow().clone(), Some(SyscallRet::Val(total as i64)));
+    // The file holds exactly the pattern stream the source sent, and no
+    // user-space copies happened on the receive path (the source's send
+    // copyin is its own).
+    let got = k.dump_file("/d1/incoming");
+    assert_eq!(got.len() as u64, total);
+    assert_eq!(
+        kproc::programs::util::pattern_check(55, 0, &got),
+        None,
+        "received file must match the sent stream"
+    );
+    assert!(k.fsck_all().is_empty());
+}

@@ -1,0 +1,260 @@
+//! Further splice-engine behaviour: FASYNC source/destination symmetry,
+//! video-device sinks, double-indirect files, and timer pacing accuracy.
+
+use kdev::VideoDac;
+use khw::{DiskProfile, SECTOR_SIZE};
+use kproc::programs::{Scp, ScpMode};
+use kproc::{
+    Fd, FcntlCmd, OpenFlags, ProcState, Program, Sig, SpliceLen, Step, SyscallRet, SyscallReq,
+    UserCtx,
+};
+use splice::objects::CharDev;
+use splice::{Kernel, KernelBuilder};
+
+const MB: u64 = 1024 * 1024;
+
+#[test]
+fn fasync_on_the_destination_also_makes_the_splice_async() {
+    // §3: "The splice operates asynchronously if EITHER of the file
+    // descriptors have the FASYNC flag enabled."
+    struct P {
+        st: u32,
+        src: Option<Fd>,
+        dst: Option<Fd>,
+        ret_immediate: std::rc::Rc<std::cell::Cell<bool>>,
+    }
+    impl Program for P {
+        fn step(&mut self, ctx: &mut UserCtx) -> Step {
+            self.st += 1;
+            match self.st {
+                1 => Step::Syscall(SyscallReq::Open {
+                    path: "/d0/src".into(),
+                    flags: OpenFlags::RDONLY,
+                }),
+                2 => {
+                    self.src = ctx.take_ret().as_fd();
+                    Step::Syscall(SyscallReq::Open {
+                        path: "/d1/dst".into(),
+                        flags: OpenFlags::CREATE,
+                    })
+                }
+                3 => {
+                    self.dst = ctx.take_ret().as_fd();
+                    Step::Syscall(SyscallReq::Sigaction {
+                        sig: Sig::Io,
+                        catch: true,
+                    })
+                }
+                4 => {
+                    ctx.take_ret();
+                    // FASYNC on the DESTINATION, not the source.
+                    Step::Syscall(SyscallReq::Fcntl {
+                        fd: self.dst.unwrap(),
+                        cmd: FcntlCmd::SetAsync(true),
+                    })
+                }
+                5 => {
+                    ctx.take_ret();
+                    Step::Syscall(SyscallReq::Splice {
+                        src: self.src.unwrap(),
+                        dst: self.dst.unwrap(),
+                        len: SpliceLen::Eof,
+                    })
+                }
+                6 => {
+                    // Async splices return 0 immediately.
+                    let ret = ctx.take_ret();
+                    self.ret_immediate.set(ret == SyscallRet::Val(0));
+                    if ctx.got_signal(Sig::Io) {
+                        return Step::Exit(0);
+                    }
+                    Step::Syscall(SyscallReq::Pause)
+                }
+                _ => {
+                    ctx.ret.take();
+                    if ctx.got_signal(Sig::Io) {
+                        Step::Exit(0)
+                    } else {
+                        self.st -= 1; // stay in the pause loop
+                        Step::Syscall(SyscallReq::Pause)
+                    }
+                }
+            }
+        }
+    }
+    let mut k = KernelBuilder::paper_machine(DiskProfile::ramdisk()).build();
+    k.setup_file("/d0/src", MB, 9);
+    k.cold_cache();
+    let flag = std::rc::Rc::new(std::cell::Cell::new(false));
+    let pid = k.spawn(Box::new(P {
+        st: 0,
+        src: None,
+        dst: None,
+        ret_immediate: flag.clone(),
+    }));
+    let horizon = k.horizon(120);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    assert!(flag.get(), "splice must return immediately with FASYNC on dst");
+    assert_eq!(k.verify_pattern_file("/d1/dst", MB, 9), None);
+}
+
+#[test]
+fn file_to_video_dac_splice_displays_frames() {
+    // §5.1 file→device splice with the always-ready video DAC: a single
+    // EOF splice pushes the whole file through as frames.
+    const FRAME: usize = 16 * 1024;
+    struct P {
+        st: u32,
+        src: Option<Fd>,
+        dev: Option<Fd>,
+    }
+    impl Program for P {
+        fn step(&mut self, ctx: &mut UserCtx) -> Step {
+            self.st += 1;
+            match self.st {
+                1 => Step::Syscall(SyscallReq::Open {
+                    path: "/d0/video".into(),
+                    flags: OpenFlags::RDONLY,
+                }),
+                2 => {
+                    self.src = ctx.take_ret().as_fd();
+                    Step::Syscall(SyscallReq::Open {
+                        path: "/dev/video_dac".into(),
+                        flags: OpenFlags::WRONLY,
+                    })
+                }
+                3 => {
+                    self.dev = ctx.take_ret().as_fd();
+                    Step::Syscall(SyscallReq::Splice {
+                        src: self.src.unwrap(),
+                        dst: self.dev.unwrap(),
+                        len: SpliceLen::Eof,
+                    })
+                }
+                4 => {
+                    let ret = ctx.take_ret();
+                    Step::Exit(if ret.as_val() == 8 * FRAME as i64 { 0 } else { 1 })
+                }
+                _ => Step::Exit(0),
+            }
+        }
+    }
+    let mut k = KernelBuilder::new()
+        .disk("d0", DiskProfile::rz58())
+        .video_dac("/dev/video_dac", VideoDac::new(FRAME))
+        .build();
+    k.setup_file("/d0/video", 8 * FRAME as u64, 4);
+    k.cold_cache();
+    let pid = k.spawn(Box::new(P {
+        st: 0,
+        src: None,
+        dev: None,
+    }));
+    let horizon = k.horizon(60);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    let CharDev::Video(v) = &k.cdevs()[0].dev else {
+        panic!()
+    };
+    assert_eq!(v.frames(), 8);
+}
+
+#[test]
+fn double_indirect_file_splices_correctly() {
+    // A file deep enough to need double-indirect blocks on both ends.
+    // 8 KB blocks hold 1024 pointers: single-indirect covers 12 + 1024
+    // blocks ≈ 8.09 MB; go past it.
+    let mut k = KernelBuilder::paper_machine(DiskProfile::rz58()).build();
+    let len = 9 * MB;
+    k.setup_file("/d0/src", len, 33);
+    k.cold_cache();
+    let pid = k.spawn(Box::new(Scp::with_options(
+        "/d0/src",
+        "/d1/dst",
+        ScpMode::Sync,
+        1,
+    )));
+    let horizon = k.horizon(600);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    assert_eq!(k.verify_pattern_file("/d1/dst", len, 33), None);
+    assert!(k.fsck_all().is_empty());
+}
+
+#[test]
+fn interval_timer_fires_periodically_with_tick_quantisation() {
+    // setitimer + pause loop: intervals must quantise to clock ticks and
+    // stay periodic.
+    struct P {
+        st: u32,
+        stamps: std::rc::Rc<std::cell::RefCell<Vec<ksim::SimTime>>>,
+    }
+    impl Program for P {
+        fn step(&mut self, ctx: &mut UserCtx) -> Step {
+            self.st += 1;
+            match self.st {
+                1 => Step::Syscall(SyscallReq::Sigaction {
+                    sig: Sig::Alrm,
+                    catch: true,
+                }),
+                2 => {
+                    ctx.take_ret();
+                    Step::Syscall(SyscallReq::SetItimer {
+                        interval: ksim::Dur::from_ms(20),
+                    })
+                }
+                n if n < 13 => {
+                    ctx.ret.take();
+                    if ctx.got_signal(Sig::Alrm) {
+                        self.stamps.borrow_mut().push(ctx.now);
+                    }
+                    Step::Syscall(SyscallReq::Pause)
+                }
+                _ => Step::Exit(0),
+            }
+        }
+    }
+    let mut k: Kernel = KernelBuilder::new().build();
+    let stamps = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    k.spawn(Box::new(P {
+        st: 0,
+        stamps: stamps.clone(),
+    }));
+    let horizon = k.horizon(30);
+    k.run_to_exit(horizon);
+    let stamps = stamps.borrow();
+    assert!(stamps.len() >= 8, "timer fired {} times", stamps.len());
+    let tick_ns = 1_000_000_000 / 256;
+    let expect_ticks = ksim::Dur::from_ms(20).as_ns() / tick_ns; // 5 ticks = 19.53 ms
+    for w in stamps.windows(2) {
+        let gap = w[1].since(w[0]).as_ns();
+        let ticks = (gap + tick_ns / 2) / tick_ns;
+        assert_eq!(
+            ticks, expect_ticks,
+            "interval {gap} ns is not {expect_ticks} ticks"
+        );
+    }
+}
+
+#[test]
+fn splice_last_partial_block_writes_full_device_block() {
+    // A file ending mid-block: the splice writes the full final block to
+    // the device (sector alignment) but the destination size must be the
+    // exact byte length.
+    let mut k = KernelBuilder::paper_machine(DiskProfile::ramdisk()).build();
+    let len = 3 * 8192 + SECTOR_SIZE as u64 + 7; // odd tail
+    k.setup_file("/d0/src", len, 5);
+    k.cold_cache();
+    let pid = k.spawn(Box::new(Scp::with_options(
+        "/d0/src",
+        "/d1/dst",
+        ScpMode::Sync,
+        1,
+    )));
+    let horizon = k.horizon(120);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    assert_eq!(k.file_size("/d1/dst"), len);
+    assert_eq!(k.verify_pattern_file("/d1/dst", len, 5), None);
+}

@@ -1,0 +1,117 @@
+//! Shared buffer data areas.
+//!
+//! The key trick of the paper's write side (§5.2.2): "The data pointer in
+//! the new buffer header is saved and altered to point to the same address
+//! the data pointer in the read-side buffer does, so both buffers share a
+//! common data area. We thus avoid copying between cache buffers."
+//!
+//! [`BufData`] models that data pointer: a cheaply clonable, shared,
+//! interior-mutable byte area. Sharing is observable (`shares_with`), which
+//! lets tests assert that a splice moved data without a cache-to-cache copy
+//! while a read/write copy did not.
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
+/// A reference-counted byte area used as a buffer's data pointer.
+#[derive(Clone)]
+pub struct BufData(Rc<RefCell<Vec<u8>>>);
+
+impl BufData {
+    /// Allocates a zeroed data area of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        BufData(Rc::new(RefCell::new(vec![0u8; len])))
+    }
+
+    /// Wraps existing bytes.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        BufData(Rc::new(RefCell::new(v)))
+    }
+
+    /// Length of the data area.
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// True when the data area is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Immutable view of the bytes.
+    pub fn bytes(&self) -> Ref<'_, Vec<u8>> {
+        self.0.borrow()
+    }
+
+    /// Mutable view of the bytes.
+    pub fn bytes_mut(&self) -> RefMut<'_, Vec<u8>> {
+        self.0.borrow_mut()
+    }
+
+    /// Replaces the contents with `src` (a modelled `bcopy` target — the
+    /// caller is responsible for charging the copy cost).
+    pub fn fill_from(&self, src: &[u8]) {
+        let mut b = self.0.borrow_mut();
+        b.clear();
+        b.extend_from_slice(src);
+    }
+
+    /// Copies the contents out (again, the caller charges the cost).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.borrow().clone()
+    }
+
+    /// True if `self` and `other` are the *same* data area — i.e. the
+    /// splice shared-pointer case.
+    pub fn shares_with(&self, other: &BufData) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Number of headers currently sharing this area.
+    pub fn sharers(&self) -> usize {
+        Rc::strong_count(&self.0)
+    }
+}
+
+impl std::fmt::Debug for BufData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BufData(len={}, sharers={})", self.len(), self.sharers())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_allocation() {
+        let d = BufData::zeroed(16);
+        assert_eq!(d.len(), 16);
+        assert!(d.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn sharing_is_aliasing() {
+        let a = BufData::from_vec(vec![1, 2, 3]);
+        let b = a.clone();
+        assert!(a.shares_with(&b));
+        b.bytes_mut()[0] = 9;
+        assert_eq!(a.bytes()[0], 9, "shared areas alias");
+        assert_eq!(a.sharers(), 2);
+    }
+
+    #[test]
+    fn distinct_areas_do_not_share() {
+        let a = BufData::from_vec(vec![1]);
+        let b = BufData::from_vec(vec![1]);
+        assert!(!a.shares_with(&b));
+    }
+
+    #[test]
+    fn fill_from_replaces() {
+        let d = BufData::zeroed(4);
+        d.fill_from(&[7, 8]);
+        assert_eq!(*d.bytes(), vec![7, 8]);
+        assert_eq!(d.to_vec(), vec![7, 8]);
+    }
+}

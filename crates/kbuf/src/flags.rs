@@ -1,0 +1,122 @@
+//! Buffer header flags, mirroring the 4.2BSD `b_flags` bits that matter
+//! for the splice implementation.
+
+use std::fmt;
+
+/// A set of buffer state flags.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufFlags(u16);
+
+impl BufFlags {
+    /// Buffer is checked out (I/O in progress or held by a context).
+    pub const BUSY: BufFlags = BufFlags(1 << 0);
+    /// Contents are valid (I/O has completed).
+    pub const DONE: BufFlags = BufFlags(1 << 1);
+    /// Dirty: must be written back before the buffer is recycled.
+    pub const DELWRI: BufFlags = BufFlags(1 << 2);
+    /// Release automatically when the I/O completes.
+    pub const ASYNC: BufFlags = BufFlags(1 << 3);
+    /// Current I/O is a read.
+    pub const READ: BufFlags = BufFlags(1 << 4);
+    /// Invoke the `b_iodone` handler on completion (the paper's `B_CALL`).
+    pub const CALL: BufFlags = BufFlags(1 << 5);
+    /// Contents are not valid; recycle eagerly and do not serve hits.
+    pub const INVAL: BufFlags = BufFlags(1 << 6);
+    /// The last I/O on this buffer failed.
+    pub const ERROR: BufFlags = BufFlags(1 << 7);
+    /// Someone is sleeping on this buffer; wake them at release.
+    pub const WANTED: BufFlags = BufFlags(1 << 8);
+
+    /// The empty flag set.
+    pub const fn empty() -> Self {
+        BufFlags(0)
+    }
+
+    /// True if every bit of `other` is set in `self`.
+    pub const fn contains(self, other: BufFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Sets the bits of `other`.
+    pub fn insert(&mut self, other: BufFlags) {
+        self.0 |= other.0;
+    }
+
+    /// Clears the bits of `other`.
+    pub fn remove(&mut self, other: BufFlags) {
+        self.0 &= !other.0;
+    }
+
+    /// Returns `self` with the bits of `other` set.
+    pub const fn with(self, other: BufFlags) -> BufFlags {
+        BufFlags(self.0 | other.0)
+    }
+}
+
+impl std::ops::BitOr for BufFlags {
+    type Output = BufFlags;
+    fn bitor(self, rhs: BufFlags) -> BufFlags {
+        BufFlags(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Debug for BufFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (BufFlags::BUSY, "BUSY"),
+            (BufFlags::DONE, "DONE"),
+            (BufFlags::DELWRI, "DELWRI"),
+            (BufFlags::ASYNC, "ASYNC"),
+            (BufFlags::READ, "READ"),
+            (BufFlags::CALL, "CALL"),
+            (BufFlags::INVAL, "INVAL"),
+            (BufFlags::ERROR, "ERROR"),
+            (BufFlags::WANTED, "WANTED"),
+        ];
+        let mut first = true;
+        for (bit, name) in names {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut f = BufFlags::empty();
+        f.insert(BufFlags::BUSY | BufFlags::READ);
+        assert!(f.contains(BufFlags::BUSY));
+        assert!(f.contains(BufFlags::READ));
+        assert!(!f.contains(BufFlags::DONE));
+        f.remove(BufFlags::READ);
+        assert!(!f.contains(BufFlags::READ));
+        assert!(f.contains(BufFlags::BUSY));
+    }
+
+    #[test]
+    fn contains_requires_all_bits() {
+        let f = BufFlags::BUSY;
+        assert!(!f.contains(BufFlags::BUSY | BufFlags::DONE));
+    }
+
+    #[test]
+    fn debug_renders_names() {
+        let f = BufFlags::BUSY | BufFlags::DELWRI;
+        let s = format!("{f:?}");
+        assert!(s.contains("BUSY") && s.contains("DELWRI"));
+        assert_eq!(format!("{:?}", BufFlags::empty()), "0");
+    }
+}

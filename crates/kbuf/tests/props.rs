@@ -1,0 +1,145 @@
+//! Property tests: random buffer-cache operation sequences against a
+//! reference model, with structural invariants checked after every step.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use kbuf::{BreadOutcome, BufId, Cache, DevId, Effect, IoDir};
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// bread of block n on device d.
+    Bread { dev: u8, blk: u8 },
+    /// Complete the oldest outstanding device read.
+    CompleteIo,
+    /// Release the oldest held buffer.
+    Release,
+    /// Dirty-release the oldest held buffer.
+    DirtyRelease,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => ((0u8..2), (0u8..24)).prop_map(|(dev, blk)| Op::Bread { dev, blk }),
+        3 => Just(Op::CompleteIo),
+        3 => Just(Op::Release),
+        1 => Just(Op::DirtyRelease),
+    ]
+}
+
+/// The "device": applies StartIo effects and queues read completions.
+#[derive(Default)]
+struct FakeDevice {
+    pending: Vec<(BufId, IoDir)>,
+}
+
+impl FakeDevice {
+    fn absorb(&mut self, effects: &[Effect]) {
+        for e in effects {
+            if let Effect::StartIo { buf, dir, .. } = e {
+                self.pending.push((*buf, *dir));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cache_invariants_hold_under_random_ops(ops in prop::collection::vec(op(), 1..120)) {
+        let mut cache = Cache::new(8, 8192);
+        let mut dev_model = FakeDevice::default();
+        // Buffers we hold (checked out to "the caller").
+        let mut held: Vec<BufId> = Vec::new();
+        // Blocks with valid contents, as the model sees them.
+        let mut valid: HashMap<(u8, u8), bool> = HashMap::new();
+
+        for op in ops {
+            let mut fx = Vec::new();
+            match op {
+                Op::Bread { dev, blk } => {
+                    let out = cache.bread(DevId(dev as u32), blk as u64, 8192, &mut fx);
+                    dev_model.absorb(&fx);
+                    match out {
+                        BreadOutcome::Hit(b) => {
+                            prop_assert_eq!(
+                                valid.get(&(dev, blk)).copied(),
+                                Some(true),
+                                "hit on a block the model says is invalid"
+                            );
+                            held.push(b);
+                        }
+                        BreadOutcome::Miss(b) => {
+                            held.push(b);
+                        }
+                        BreadOutcome::Busy(_) | BreadOutcome::NoBuffers => {}
+                    }
+                }
+                Op::CompleteIo => {
+                    if dev_model.pending.is_empty() {
+                        continue;
+                    }
+                    let (buf, dir) = dev_model.pending.remove(0);
+                    let tag = cache.biodone(buf, false, &mut fx);
+                    prop_assert!(tag.is_none(), "no B_CALL in this model");
+                    dev_model.absorb(&fx);
+                    if let Some((d, b)) = cache.identity(buf) {
+                        if dir == IoDir::Read {
+                            valid.insert((d.0 as u8, b as u8), true);
+                        }
+                    }
+                }
+                Op::Release => {
+                    if let Some(buf) = held.pop() {
+                        // Completed? Otherwise invalid contents get
+                        // forgotten by the cache, matching the model.
+                        let was_done = cache.io_done(buf);
+                        if let Some((d, b)) = cache.identity(buf) {
+                            if !was_done {
+                                valid.remove(&(d.0 as u8, b as u8));
+                            }
+                        }
+                        // Release only if no I/O is pending on it (the
+                        // kernel never releases a buffer mid-transfer).
+                        if dev_model.pending.iter().any(|(p, _)| *p == buf) {
+                            held.push(buf);
+                            continue;
+                        }
+                        cache.brelse(buf, &mut fx);
+                        dev_model.absorb(&fx);
+                    }
+                }
+                Op::DirtyRelease => {
+                    if let Some(buf) = held.pop() {
+                        if dev_model.pending.iter().any(|(p, _)| *p == buf)
+                            || !cache.io_done(buf)
+                        {
+                            held.push(buf);
+                            continue;
+                        }
+                        cache.bdwrite(buf, &mut fx);
+                        dev_model.absorb(&fx);
+                    }
+                }
+            }
+            cache.check_invariants();
+        }
+
+        // Drain: complete outstanding I/O and release everything; the
+        // cache must end structurally clean.
+        while !dev_model.pending.is_empty() {
+            let (buf, _) = dev_model.pending.remove(0);
+            let mut fx = Vec::new();
+            cache.biodone(buf, false, &mut fx);
+            dev_model.absorb(&fx);
+            cache.check_invariants();
+        }
+        for buf in held {
+            let mut fx = Vec::new();
+            cache.brelse(buf, &mut fx);
+            cache.check_invariants();
+        }
+    }
+}

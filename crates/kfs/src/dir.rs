@@ -1,0 +1,147 @@
+//! Directory content encoding.
+//!
+//! A directory's data is a packed sequence of entries, each
+//! `ino: u32, namelen: u16, name: [u8]`, terminated by a zero record.
+//! In core a directory is a sorted name → inode map; it is serialised into
+//! the directory file's data blocks at sync time.
+
+use std::collections::BTreeMap;
+
+use crate::inode::Ino;
+
+/// In-core directory contents.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct DirContents {
+    entries: BTreeMap<String, Ino>,
+}
+
+impl DirContents {
+    /// An empty directory.
+    pub fn new() -> DirContents {
+        DirContents::default()
+    }
+
+    /// Looks up `name`.
+    pub fn get(&self, name: &str) -> Option<Ino> {
+        self.entries.get(name).copied()
+    }
+
+    /// Adds an entry. Returns `false` (and changes nothing) if the name
+    /// already exists.
+    pub fn insert(&mut self, name: &str, ino: Ino) -> bool {
+        if self.entries.contains_key(name) {
+            return false;
+        }
+        self.entries.insert(name.to_string(), ino);
+        true
+    }
+
+    /// Removes an entry, returning its inode.
+    pub fn remove(&mut self, name: &str) -> Option<Ino> {
+        self.entries.remove(name)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the directory has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Ino)> + '_ {
+        self.entries.iter().map(|(n, i)| (n.as_str(), *i))
+    }
+
+    /// Serialises to the on-disk format (including the terminator).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        for (name, ino) in &self.entries {
+            assert!(name.len() <= u16::MAX as usize);
+            v.extend_from_slice(&ino.0.to_le_bytes());
+            v.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            v.extend_from_slice(name.as_bytes());
+        }
+        v.extend_from_slice(&0u32.to_le_bytes());
+        v.extend_from_slice(&0u16.to_le_bytes());
+        v
+    }
+
+    /// Parses the on-disk format. Garbage past the terminator is ignored.
+    /// Returns `None` on a malformed record.
+    pub fn decode(b: &[u8]) -> Option<DirContents> {
+        let mut entries = BTreeMap::new();
+        let mut off = 0usize;
+        loop {
+            if off + 6 > b.len() {
+                return None;
+            }
+            let ino = u32::from_le_bytes(b[off..off + 4].try_into().unwrap());
+            let namelen = u16::from_le_bytes(b[off + 4..off + 6].try_into().unwrap()) as usize;
+            off += 6;
+            if ino == 0 && namelen == 0 {
+                return Some(DirContents { entries });
+            }
+            if ino == 0 || off + namelen > b.len() {
+                return None;
+            }
+            let name = std::str::from_utf8(&b[off..off + namelen]).ok()?;
+            entries.insert(name.to_string(), Ino(ino));
+            off += namelen;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut d = DirContents::new();
+        assert!(d.insert("movie.audio", Ino(2)));
+        assert!(d.insert("movie.video", Ino(3)));
+        assert!(!d.insert("movie.audio", Ino(4)), "duplicate rejected");
+        assert_eq!(d.get("movie.audio"), Some(Ino(2)));
+        assert_eq!(d.remove("movie.audio"), Some(Ino(2)));
+        assert_eq!(d.get("movie.audio"), None);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut d = DirContents::new();
+        d.insert("a", Ino(1));
+        d.insert("long-file-name.dat", Ino(42));
+        d.insert("z", Ino(7));
+        let enc = d.encode();
+        let d2 = DirContents::decode(&enc).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn decode_ignores_padding() {
+        let mut d = DirContents::new();
+        d.insert("x", Ino(5));
+        let mut enc = d.encode();
+        enc.extend_from_slice(&[0xAA; 100]); // block padding / stale bytes
+        assert_eq!(DirContents::decode(&enc).unwrap(), d);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut d = DirContents::new();
+        d.insert("filename", Ino(5));
+        let enc = d.encode();
+        assert!(DirContents::decode(&enc[..enc.len() - 8]).is_none());
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let d = DirContents::new();
+        assert_eq!(DirContents::decode(&d.encode()).unwrap(), d);
+    }
+}

@@ -1,0 +1,166 @@
+//! In-core inodes (the Ultrix "gnode") and their block maps.
+//!
+//! An in-core inode carries the full logical→physical block map, built
+//! from the on-disk direct/indirect pointers at load time. `bmap` is then
+//! a table lookup — which is precisely the property the splice descriptor
+//! relies on when it snapshots "the entire list of all physical block
+//! numbers comprising the source file" (§5.2).
+
+use crate::layout::{RawInode, NDADDR};
+
+/// Inode number. 0 is never a valid inode; the root directory is inode 1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Ino(pub u32);
+
+/// What an inode is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileKind {
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+}
+
+impl FileKind {
+    /// On-disk encoding.
+    pub fn to_raw(self) -> u16 {
+        match self {
+            FileKind::File => 1,
+            FileKind::Dir => 2,
+        }
+    }
+
+    /// From on-disk encoding; `None` for a free slot or garbage.
+    pub fn from_raw(v: u16) -> Option<FileKind> {
+        match v {
+            1 => Some(FileKind::File),
+            2 => Some(FileKind::Dir),
+            _ => None,
+        }
+    }
+}
+
+/// An in-core inode with a fully materialised block map.
+#[derive(Clone, Debug)]
+pub struct Inode {
+    /// Inode number.
+    pub ino: Ino,
+    /// File or directory.
+    pub kind: FileKind,
+    /// Hard link count.
+    pub nlink: u16,
+    /// Size in bytes.
+    pub size: u64,
+    /// Logical block index → physical block (None = hole).
+    pub map: Vec<Option<u64>>,
+    /// Physical block of the single-indirect pointer block, if allocated.
+    pub indirect: Option<u64>,
+    /// Physical block of the double-indirect pointer block, if allocated.
+    pub dindirect: Option<u64>,
+    /// Level-1 pointer blocks under the double-indirect block
+    /// (`dind_l1[i]` covers logical blocks `NDADDR + p + i*p ..`).
+    pub dind_l1: Vec<Option<u64>>,
+    /// Metadata changed since last writeback.
+    pub dirty: bool,
+}
+
+impl Inode {
+    /// A fresh empty inode.
+    pub fn new(ino: Ino, kind: FileKind) -> Inode {
+        Inode {
+            ino,
+            kind,
+            nlink: 1,
+            size: 0,
+            map: Vec::new(),
+            indirect: None,
+            dindirect: None,
+            dind_l1: Vec::new(),
+            dirty: true,
+        }
+    }
+
+    /// Physical block for logical block `lblk`, if mapped.
+    pub fn bmap(&self, lblk: u64) -> Option<u64> {
+        self.map.get(lblk as usize).copied().flatten()
+    }
+
+    /// Number of mapped (non-hole) blocks.
+    pub fn blocks_mapped(&self) -> u64 {
+        self.map.iter().filter(|b| b.is_some()).count() as u64
+    }
+
+    /// Installs a mapping (grows the map with holes as needed).
+    pub fn set_map(&mut self, lblk: u64, pblk: u64) {
+        let idx = lblk as usize;
+        if idx >= self.map.len() {
+            self.map.resize(idx + 1, None);
+        }
+        assert!(self.map[idx].is_none(), "remap of mapped block {lblk}");
+        self.map[idx] = Some(pblk);
+        self.dirty = true;
+    }
+
+    /// Builds the direct-pointer part of the on-disk image. The indirect
+    /// pointer *blocks* are materialised by the filesystem at sync time
+    /// (they live in data blocks); this fills in the inode fields.
+    pub fn to_raw(&self) -> RawInode {
+        let mut raw = RawInode::free();
+        raw.kind = self.kind.to_raw();
+        raw.nlink = self.nlink;
+        raw.size = self.size;
+        for i in 0..NDADDR.min(self.map.len()) {
+            raw.direct[i] = self.map[i].unwrap_or(0);
+        }
+        raw.indirect = self.indirect.unwrap_or(0);
+        raw.dindirect = self.dindirect.unwrap_or(0);
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filekind_roundtrip() {
+        assert_eq!(FileKind::from_raw(FileKind::File.to_raw()), Some(FileKind::File));
+        assert_eq!(FileKind::from_raw(FileKind::Dir.to_raw()), Some(FileKind::Dir));
+        assert_eq!(FileKind::from_raw(0), None);
+        assert_eq!(FileKind::from_raw(99), None);
+    }
+
+    #[test]
+    fn bmap_lookup_with_holes() {
+        let mut ino = Inode::new(Ino(2), FileKind::File);
+        ino.set_map(0, 100);
+        ino.set_map(5, 105);
+        assert_eq!(ino.bmap(0), Some(100));
+        assert_eq!(ino.bmap(1), None, "hole");
+        assert_eq!(ino.bmap(5), Some(105));
+        assert_eq!(ino.bmap(99), None, "past end");
+        assert_eq!(ino.blocks_mapped(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "remap")]
+    fn remap_rejected() {
+        let mut ino = Inode::new(Ino(2), FileKind::File);
+        ino.set_map(0, 100);
+        ino.set_map(0, 101);
+    }
+
+    #[test]
+    fn to_raw_covers_direct_range() {
+        let mut ino = Inode::new(Ino(2), FileKind::File);
+        for i in 0..14u64 {
+            ino.set_map(i, 100 + i);
+        }
+        ino.indirect = Some(500);
+        let raw = ino.to_raw();
+        assert_eq!(raw.direct[0], 100);
+        assert_eq!(raw.direct[11], 111);
+        assert_eq!(raw.indirect, 500);
+        assert_eq!(raw.dindirect, 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! On-disk layout: superblock and raw inode encoding.
+
+/// Filesystem magic number ("SPLC" + version).
+pub const MAGIC: u32 = 0x53504c01;
+
+/// Direct block pointers per inode (classic FFS `NDADDR`).
+pub const NDADDR: usize = 12;
+
+/// Bytes per on-disk inode slot.
+pub const INODE_SIZE: usize = 128;
+
+/// The superblock: geometry of the filesystem.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Superblock {
+    /// Must equal [`MAGIC`].
+    pub magic: u32,
+    /// Filesystem block size in bytes (power of two, ≥ 512).
+    pub block_size: u32,
+    /// Total filesystem blocks on the device.
+    pub total_blocks: u64,
+    /// Number of inode slots.
+    pub ninodes: u32,
+    /// First block of the inode table.
+    pub itab_start: u64,
+    /// Blocks occupied by the inode table.
+    pub itab_blocks: u64,
+    /// First block of the free bitmap.
+    pub bitmap_start: u64,
+    /// Blocks occupied by the bitmap.
+    pub bitmap_blocks: u64,
+    /// First data block.
+    pub data_start: u64,
+    /// Root directory inode.
+    pub root_ino: u32,
+}
+
+impl Superblock {
+    /// Computes a layout for a device of `dev_bytes` with the given block
+    /// size and inode count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry (zero-size device, non-power-of-two
+    /// block size, not enough room for metadata plus at least one data
+    /// block).
+    pub fn for_device(dev_bytes: u64, block_size: u32, ninodes: u32) -> Superblock {
+        assert!(block_size.is_power_of_two() && block_size >= 512);
+        assert!(ninodes >= 2, "need at least root + one file");
+        let total_blocks = dev_bytes / block_size as u64;
+        let itab_start = 1u64;
+        let itab_bytes = ninodes as u64 * INODE_SIZE as u64;
+        let itab_blocks = itab_bytes.div_ceil(block_size as u64);
+        let bitmap_start = itab_start + itab_blocks;
+        let bitmap_blocks = total_blocks.div_ceil(8 * block_size as u64);
+        let data_start = bitmap_start + bitmap_blocks;
+        assert!(
+            data_start + 1 < total_blocks,
+            "device too small for layout: {total_blocks} blocks"
+        );
+        Superblock {
+            magic: MAGIC,
+            block_size,
+            total_blocks,
+            ninodes,
+            itab_start,
+            itab_blocks,
+            bitmap_start,
+            bitmap_blocks,
+            data_start,
+            root_ino: 1,
+        }
+    }
+
+    /// Pointers per indirect block.
+    pub fn ptrs_per_block(&self) -> u64 {
+        self.block_size as u64 / 8
+    }
+
+    /// Largest addressable logical block index + 1 (direct + single +
+    /// double indirect coverage).
+    pub fn max_file_blocks(&self) -> u64 {
+        let p = self.ptrs_per_block();
+        NDADDR as u64 + p + p * p
+    }
+
+    /// Serialises to bytes (fits easily in one block).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(&self.magic.to_le_bytes());
+        v.extend_from_slice(&self.block_size.to_le_bytes());
+        v.extend_from_slice(&self.total_blocks.to_le_bytes());
+        v.extend_from_slice(&self.ninodes.to_le_bytes());
+        v.extend_from_slice(&self.itab_start.to_le_bytes());
+        v.extend_from_slice(&self.itab_blocks.to_le_bytes());
+        v.extend_from_slice(&self.bitmap_start.to_le_bytes());
+        v.extend_from_slice(&self.bitmap_blocks.to_le_bytes());
+        v.extend_from_slice(&self.data_start.to_le_bytes());
+        v.extend_from_slice(&self.root_ino.to_le_bytes());
+        v
+    }
+
+    /// Parses a superblock; `None` if the magic does not match.
+    pub fn decode(b: &[u8]) -> Option<Superblock> {
+        if b.len() < 64 {
+            return None;
+        }
+        let rd32 = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().unwrap());
+        let rd64 = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
+        let sb = Superblock {
+            magic: rd32(0),
+            block_size: rd32(4),
+            total_blocks: rd64(8),
+            ninodes: rd32(16),
+            itab_start: rd64(20),
+            itab_blocks: rd64(28),
+            bitmap_start: rd64(36),
+            bitmap_blocks: rd64(44),
+            data_start: rd64(52),
+            root_ino: rd32(60),
+        };
+        (sb.magic == MAGIC).then_some(sb)
+    }
+
+    /// Byte offset of inode slot `ino` on the device.
+    pub fn inode_offset(&self, ino: u32) -> u64 {
+        assert!(ino < self.ninodes, "inode {ino} out of range");
+        self.itab_start * self.block_size as u64 + ino as u64 * INODE_SIZE as u64
+    }
+}
+
+/// Raw on-disk inode image.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RawInode {
+    /// 0 = free, 1 = regular file, 2 = directory.
+    pub kind: u16,
+    /// Hard link count.
+    pub nlink: u16,
+    /// File size in bytes.
+    pub size: u64,
+    /// Direct block pointers (0 = hole).
+    pub direct: [u64; NDADDR],
+    /// Single-indirect pointer block (0 = none).
+    pub indirect: u64,
+    /// Double-indirect pointer block (0 = none).
+    pub dindirect: u64,
+}
+
+impl RawInode {
+    /// An all-zero (free) inode.
+    pub fn free() -> RawInode {
+        RawInode {
+            kind: 0,
+            nlink: 0,
+            size: 0,
+            direct: [0; NDADDR],
+            indirect: 0,
+            dindirect: 0,
+        }
+    }
+
+    /// Serialises to exactly [`INODE_SIZE`] bytes.
+    pub fn encode(&self) -> [u8; INODE_SIZE] {
+        let mut v = [0u8; INODE_SIZE];
+        v[0..2].copy_from_slice(&self.kind.to_le_bytes());
+        v[2..4].copy_from_slice(&self.nlink.to_le_bytes());
+        v[4..12].copy_from_slice(&self.size.to_le_bytes());
+        for (i, d) in self.direct.iter().enumerate() {
+            let o = 12 + i * 8;
+            v[o..o + 8].copy_from_slice(&d.to_le_bytes());
+        }
+        v[108..116].copy_from_slice(&self.indirect.to_le_bytes());
+        v[116..124].copy_from_slice(&self.dindirect.to_le_bytes());
+        v
+    }
+
+    /// Parses an inode image.
+    pub fn decode(b: &[u8]) -> RawInode {
+        assert!(b.len() >= INODE_SIZE);
+        let rd64 = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
+        let mut direct = [0u64; NDADDR];
+        for (i, d) in direct.iter_mut().enumerate() {
+            *d = rd64(12 + i * 8);
+        }
+        RawInode {
+            kind: u16::from_le_bytes(b[0..2].try_into().unwrap()),
+            nlink: u16::from_le_bytes(b[2..4].try_into().unwrap()),
+            size: rd64(4),
+            direct,
+            indirect: rd64(108),
+            dindirect: rd64(116),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superblock_roundtrip() {
+        let sb = Superblock::for_device(16 * 1024 * 1024, 8192, 512);
+        let decoded = Superblock::decode(&sb.encode()).unwrap();
+        assert_eq!(sb, decoded);
+    }
+
+    #[test]
+    fn superblock_bad_magic_rejected() {
+        let sb = Superblock::for_device(16 * 1024 * 1024, 8192, 512);
+        let mut enc = sb.encode();
+        enc[0] ^= 0xff;
+        assert!(Superblock::decode(&enc).is_none());
+    }
+
+    #[test]
+    fn layout_regions_are_disjoint_and_ordered() {
+        let sb = Superblock::for_device(64 * 1024 * 1024, 8192, 1024);
+        assert!(sb.itab_start >= 1);
+        assert_eq!(sb.bitmap_start, sb.itab_start + sb.itab_blocks);
+        assert_eq!(sb.data_start, sb.bitmap_start + sb.bitmap_blocks);
+        assert!(sb.data_start < sb.total_blocks);
+    }
+
+    #[test]
+    fn max_file_blocks_covers_double_indirect() {
+        let sb = Superblock::for_device(64 * 1024 * 1024, 8192, 64);
+        let p = 8192u64 / 8;
+        assert_eq!(sb.max_file_blocks(), 12 + p + p * p);
+    }
+
+    #[test]
+    fn inode_roundtrip() {
+        let mut raw = RawInode::free();
+        raw.kind = 1;
+        raw.nlink = 1;
+        raw.size = 123456;
+        raw.direct[0] = 77;
+        raw.direct[11] = 88;
+        raw.indirect = 99;
+        raw.dindirect = 100;
+        assert_eq!(RawInode::decode(&raw.encode()), raw);
+    }
+
+    #[test]
+    fn inode_offsets_do_not_overlap() {
+        let sb = Superblock::for_device(16 * 1024 * 1024, 8192, 512);
+        let a = sb.inode_offset(0);
+        let b = sb.inode_offset(1);
+        assert_eq!(b - a, INODE_SIZE as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn inode_offset_bounds_checked() {
+        let sb = Superblock::for_device(16 * 1024 * 1024, 8192, 512);
+        sb.inode_offset(512);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_device_rejected() {
+        Superblock::for_device(8192 * 3, 8192, 128);
+    }
+}

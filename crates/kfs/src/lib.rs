@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! A 4.2BSD-style local filesystem (FFS-lite).
+//!
+//! The splice implementation needs exactly what this crate provides (§5.1):
+//! a filesystem whose `bmap()` can resolve every logical block of a file to
+//! a physical block number up front, a block allocator that can be driven
+//! by a "special version of bmap … which avoids delayed-writes of freshly
+//! allocated, zero-filled blocks", and ordinary file metadata (the gnode).
+//!
+//! On-disk layout (all little-endian, block numbers in units of the
+//! filesystem block size):
+//!
+//! ```text
+//! block 0              superblock
+//! blocks 1..           inode table (fixed count, 128 bytes per inode)
+//! blocks ..            free-block bitmap (1 bit per block)
+//! blocks data_start..  data blocks (files, directories, indirect blocks)
+//! ```
+//!
+//! Inodes address 12 direct blocks, one single-indirect and one
+//! double-indirect block, like the classic FFS inode.
+//!
+//! # Division of labour with the kernel
+//!
+//! *Data* blocks move through the buffer cache and the disk model with full
+//! timing — that is the traffic the paper measures. *Metadata* (inodes,
+//! bitmap, directories, indirect blocks) is kept in core once loaded and
+//! written back on `sync`, with each operation reporting the device bytes
+//! it implies ([`FsIo`]) so the kernel can charge time for them. This
+//! mirrors how FFS kept cylinder-group summaries and active inodes in core,
+//! and keeps metadata a second-order cost as it is in the paper's
+//! experiments.
+
+pub mod alloc;
+pub mod dir;
+pub mod fs;
+pub mod fsck;
+pub mod inode;
+pub mod layout;
+
+pub use fs::{Fs, FsError, FsIo, FsResult};
+pub use fsck::{fsck, FsckReport};
+pub use inode::{FileKind, Ino};
+pub use layout::Superblock;

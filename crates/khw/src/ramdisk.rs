@@ -1,0 +1,169 @@
+//! The RAM disk driver (§6.1).
+//!
+//! "The ram disk driver uses 16 MB of statically allocated memory from the
+//! kernel's BSS region." A transfer has no mechanics at all: it is a CPU
+//! `bcopy` between the BSS region and the caller's buffer, charged at the
+//! uncached streaming rate (16 MB does not fit the 64 KB data cache).
+//!
+//! The driver completes requests *synchronously in the caller's context* —
+//! exactly like the real pseudo-disk: the strategy routine does the copy
+//! and calls `biodone` before returning. Whose CPU that is depends on who
+//! called strategy (a user process doing `read(2)`, or the splice engine's
+//! deferred kernel work), which is what makes the RAM-disk rows of Table 1
+//! come out differently for CP and SCP.
+
+use ksim::Dur;
+
+use crate::profile::{DiskProfile, SECTOR_SIZE};
+use crate::store::SparseStore;
+
+/// Cumulative RAM-disk counters.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct RamDiskStats {
+    /// Requests serviced.
+    pub requests: u64,
+    /// Bytes copied in or out.
+    pub bytes: u64,
+}
+
+/// The 16 MB kernel-memory disk.
+pub struct RamDisk {
+    profile: DiskProfile,
+    store: SparseStore,
+    stats: RamDiskStats,
+}
+
+impl RamDisk {
+    /// Creates a RAM disk from a profile (normally [`DiskProfile::ramdisk`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is not a RAM-kind profile.
+    pub fn new(profile: DiskProfile) -> Self {
+        assert_eq!(
+            profile.kind,
+            crate::profile::DiskKind::Ram,
+            "RamDisk requires a RAM profile"
+        );
+        let store = SparseStore::new(profile.bytes());
+        RamDisk {
+            profile,
+            store,
+            stats: RamDiskStats::default(),
+        }
+    }
+
+    /// The profile this RAM disk was built from.
+    pub fn profile(&self) -> &DiskProfile {
+        &self.profile
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> RamDiskStats {
+        self.stats
+    }
+
+    /// Direct medium access bypassing cost accounting (`mkfs`, tests).
+    pub fn store(&self) -> &SparseStore {
+        &self.store
+    }
+
+    /// Direct mutable medium access bypassing cost accounting.
+    pub fn store_mut(&mut self) -> &mut SparseStore {
+        &mut self.store
+    }
+
+    /// CPU cost of moving `len` bytes through the driver.
+    pub fn copy_cost(&self, len: usize) -> Dur {
+        Dur::for_bytes(len as u64, self.profile.host_copy_bps)
+    }
+
+    /// Reads `len` bytes at `sector`, returning the data and the CPU cost
+    /// of the driver `bcopy`. Completion is immediate (synchronous).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range requests.
+    pub fn read(&mut self, sector: u64, len: usize) -> (Vec<u8>, Dur) {
+        assert!(len > 0 && len.is_multiple_of(SECTOR_SIZE), "unaligned length {len}");
+        let data = self.store.read_vec(sector * SECTOR_SIZE as u64, len);
+        self.stats.requests += 1;
+        self.stats.bytes += len as u64;
+        (data, self.copy_cost(len))
+    }
+
+    /// Writes `data` at `sector`, returning the CPU cost of the driver
+    /// `bcopy`. Completion is immediate (synchronous).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range requests.
+    pub fn write(&mut self, sector: u64, data: &[u8]) -> Dur {
+        assert!(
+            !data.is_empty() && data.len().is_multiple_of(SECTOR_SIZE),
+            "unaligned length {}",
+            data.len()
+        );
+        self.store.write(sector * SECTOR_SIZE as u64, data);
+        self.stats.requests += 1;
+        self.stats.bytes += data.len() as u64;
+        self.copy_cost(data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut rd = RamDisk::new(DiskProfile::ramdisk());
+        let data: Vec<u8> = (0..8192).map(|i| (i * 7 % 256) as u8).collect();
+        rd.write(32, &data);
+        let (got, _) = rd.read(32, 8192);
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn copy_cost_matches_profile_rate() {
+        let rd = RamDisk::new(DiskProfile::ramdisk());
+        let cost = rd.copy_cost(8192);
+        assert_eq!(
+            cost,
+            Dur::for_bytes(8192, DiskProfile::ramdisk().host_copy_bps)
+        );
+        // 8 KB at ~10 MB/s is most of a millisecond: the dominant
+        // per-block cost in the RAM rows of the paper's tables.
+        assert!(cost > Dur::from_us(600) && cost < Dur::from_us(1000));
+    }
+
+    #[test]
+    fn stats_count_both_directions() {
+        let mut rd = RamDisk::new(DiskProfile::ramdisk());
+        rd.write(0, &vec![0u8; 512]);
+        rd.read(0, 512);
+        assert_eq!(rd.stats().requests, 2);
+        assert_eq!(rd.stats().bytes, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_rejected() {
+        let mut rd = RamDisk::new(DiskProfile::ramdisk());
+        rd.read(0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut rd = RamDisk::new(DiskProfile::ramdisk());
+        let sectors = DiskProfile::ramdisk().sectors;
+        rd.read(sectors, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "RAM profile")]
+    fn scsi_profile_rejected() {
+        RamDisk::new(DiskProfile::rz56());
+    }
+}

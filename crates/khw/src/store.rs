@@ -1,0 +1,174 @@
+//! Sparse byte store: the persistent medium behind every simulated device.
+//!
+//! Devices in this reproduction carry *real data* so that every copy path
+//! (read/write, splice, network) can be verified byte-for-byte. A disk can
+//! be hundreds of simulated megabytes, so storage is chunked and allocated
+//! lazily; unwritten regions read back as zeros, like a freshly formatted
+//! medium.
+
+use std::collections::HashMap;
+
+/// Chunk granularity. 8 KB matches the filesystem block size, so a typical
+/// block write touches exactly one chunk.
+const CHUNK: usize = 8192;
+
+/// A lazily-allocated, zero-initialised byte array addressed by offset.
+#[derive(Default, Clone)]
+pub struct SparseStore {
+    chunks: HashMap<u64, Box<[u8; CHUNK]>>,
+    len: u64,
+}
+
+impl SparseStore {
+    /// Creates a store of `len` addressable bytes, all zero.
+    pub fn new(len: u64) -> Self {
+        SparseStore {
+            chunks: HashMap::new(),
+            len,
+        }
+    }
+
+    /// Addressable size in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the store has zero addressable bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of chunks actually materialised (for memory-use assertions).
+    pub fn resident_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn check_range(&self, off: u64, n: usize) {
+        assert!(
+            off.checked_add(n as u64).is_some_and(|end| end <= self.len),
+            "store access out of range: off={off} len={n} size={}",
+            self.len
+        );
+    }
+
+    /// Reads `buf.len()` bytes starting at `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends past the end of the store.
+    pub fn read(&self, off: u64, buf: &mut [u8]) {
+        self.check_range(off, buf.len());
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let abs = off + pos as u64;
+            let ci = abs / CHUNK as u64;
+            let co = (abs % CHUNK as u64) as usize;
+            let n = (CHUNK - co).min(buf.len() - pos);
+            match self.chunks.get(&ci) {
+                Some(chunk) => buf[pos..pos + n].copy_from_slice(&chunk[co..co + n]),
+                None => buf[pos..pos + n].fill(0),
+            }
+            pos += n;
+        }
+    }
+
+    /// Convenience: reads `n` bytes at `off` into a fresh vector.
+    pub fn read_vec(&self, off: u64, n: usize) -> Vec<u8> {
+        let mut v = vec![0u8; n];
+        self.read(off, &mut v);
+        v
+    }
+
+    /// Writes `data` starting at `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends past the end of the store.
+    pub fn write(&mut self, off: u64, data: &[u8]) {
+        self.check_range(off, data.len());
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = off + pos as u64;
+            let ci = abs / CHUNK as u64;
+            let co = (abs % CHUNK as u64) as usize;
+            let n = (CHUNK - co).min(data.len() - pos);
+            let chunk = self
+                .chunks
+                .entry(ci)
+                .or_insert_with(|| Box::new([0u8; CHUNK]));
+            chunk[co..co + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let s = SparseStore::new(1 << 20);
+        assert_eq!(s.read_vec(12345, 16), vec![0u8; 16]);
+        assert_eq!(s.resident_chunks(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut s = SparseStore::new(1 << 20);
+        let data: Vec<u8> = (0..=255).collect();
+        s.write(1000, &data);
+        assert_eq!(s.read_vec(1000, 256), data);
+    }
+
+    #[test]
+    fn crossing_chunk_boundary() {
+        let mut s = SparseStore::new(1 << 20);
+        let off = CHUNK as u64 - 100;
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        s.write(off, &data);
+        assert_eq!(s.read_vec(off, 200), data);
+        assert_eq!(s.resident_chunks(), 2);
+    }
+
+    #[test]
+    fn partial_overwrite_preserves_rest() {
+        let mut s = SparseStore::new(1 << 20);
+        s.write(0, &[1u8; 32]);
+        s.write(8, &[2u8; 8]);
+        let got = s.read_vec(0, 32);
+        assert_eq!(&got[0..8], &[1u8; 8]);
+        assert_eq!(&got[8..16], &[2u8; 8]);
+        assert_eq!(&got[16..32], &[1u8; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_past_end_panics() {
+        let s = SparseStore::new(64);
+        let mut buf = [0u8; 16];
+        s.read(60, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn write_past_end_panics() {
+        let mut s = SparseStore::new(64);
+        s.write(63, &[0, 0]);
+    }
+
+    #[test]
+    fn boundary_write_at_exact_end_ok() {
+        let mut s = SparseStore::new(64);
+        s.write(48, &[7u8; 16]);
+        assert_eq!(s.read_vec(48, 16), vec![7u8; 16]);
+    }
+
+    #[test]
+    fn sparse_usage_stays_sparse() {
+        let mut s = SparseStore::new(1 << 30); // 1 GB address space
+        s.write(1 << 29, b"hello");
+        assert_eq!(s.resident_chunks(), 1);
+        assert_eq!(s.read_vec(1 << 29, 5), b"hello".to_vec());
+    }
+}

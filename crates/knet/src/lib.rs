@@ -1,0 +1,435 @@
+#![warn(missing_docs)]
+
+//! UDP socket substrate.
+//!
+//! §5.1: "The current implementation of splice supports … socket-to-socket
+//! splices for the UDP transport protocol, and framebuffer-to-socket
+//! splices". This crate provides the socket layer those splices run over:
+//! datagram sockets with bounded receive buffers, a port namespace, and a
+//! link model (loopback is free of wire time; a remote hop pays serialised
+//! bandwidth plus latency).
+//!
+//! Like the other substrates, the crate is a pure state machine: `send`
+//! computes where and when a datagram would arrive; the kernel schedules
+//! the delivery event, charges protocol CPU costs, and calls
+//! [`Net::deliver`] when the time comes. Blocking (`recv` on an empty
+//! queue, send-buffer exhaustion) is expressed as outcomes the kernel
+//! turns into sleeps.
+
+use std::collections::{HashMap, VecDeque};
+
+use ksim::{Dur, SimTime};
+
+/// Socket identity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SockId(pub u32);
+
+/// A UDP endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NetAddr {
+    /// Host identifier (the simulated DECstation is host 1).
+    pub host: u32,
+    /// UDP port.
+    pub port: u16,
+}
+
+/// One datagram in flight or queued.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sender address.
+    pub src: NetAddr,
+    /// Payload.
+    pub data: Vec<u8>,
+}
+
+/// Errors from socket operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetErr {
+    /// Unknown socket.
+    BadSocket,
+    /// Port already bound on that host.
+    PortInUse,
+    /// Socket has no peer (send without connect).
+    NotConnected,
+    /// Datagram exceeds the maximum size.
+    MsgTooBig,
+}
+
+/// Where and when a sent datagram arrives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxInfo {
+    /// Arrival instant (schedule the delivery event here).
+    pub arrival: SimTime,
+    /// Receiving socket, if one is bound to the destination; `None`
+    /// means the datagram vanishes (no listener), like real UDP.
+    pub dst: Option<SockId>,
+}
+
+/// Result of delivering a datagram into a receive buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeliverOutcome {
+    /// Queued; if a process sleeps on the socket, wake it.
+    Queued,
+    /// Receive buffer full: dropped (counted).
+    Dropped,
+}
+
+/// Largest datagram the stack accepts (a generous classic UDP bound).
+pub const MAX_DGRAM: usize = 32 * 1024;
+
+struct Socket {
+    host: u32,
+    local_port: Option<u16>,
+    peer: Option<NetAddr>,
+    rcv_queue: VecDeque<Datagram>,
+    rcv_used: usize,
+    rcv_limit: usize,
+    open: bool,
+}
+
+/// Cumulative network counters.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NetStats {
+    /// Datagrams sent.
+    pub sent: u64,
+    /// Datagrams queued to a receiver.
+    pub delivered: u64,
+    /// Datagrams dropped (no listener or full buffer).
+    pub dropped: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+/// The network stack state.
+pub struct Net {
+    socks: Vec<Socket>,
+    ports: HashMap<NetAddr, SockId>,
+    /// Off-host link: serialised bandwidth + propagation delay.
+    link_bps: u64,
+    link_latency: Dur,
+    link_busy_until: SimTime,
+    /// Loopback delivery delay (protocol queue hop; the CPU cost is
+    /// charged by the kernel separately).
+    loopback_delay: Dur,
+    rcv_limit: usize,
+    stats: NetStats,
+}
+
+impl Net {
+    /// A stack with a 10 Mbit/s off-host link (the era's Ethernet) and
+    /// 64 KB socket receive buffers.
+    pub fn new() -> Net {
+        Net {
+            socks: Vec::new(),
+            ports: HashMap::new(),
+            link_bps: 1_250_000,
+            link_latency: Dur::from_us(1000),
+            link_busy_until: SimTime::ZERO,
+            loopback_delay: Dur::from_us(50),
+            rcv_limit: 64 * 1024,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Overrides the receive-buffer limit for new sockets.
+    pub fn set_rcv_limit(&mut self, limit: usize) {
+        self.rcv_limit = limit;
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn sock(&self, id: SockId) -> Result<&Socket, NetErr> {
+        self.socks
+            .get(id.0 as usize)
+            .filter(|s| s.open)
+            .ok_or(NetErr::BadSocket)
+    }
+
+    fn sock_mut(&mut self, id: SockId) -> Result<&mut Socket, NetErr> {
+        self.socks
+            .get_mut(id.0 as usize)
+            .filter(|s| s.open)
+            .ok_or(NetErr::BadSocket)
+    }
+
+    /// Creates a UDP socket on `host`.
+    pub fn socket(&mut self, host: u32) -> SockId {
+        let id = SockId(self.socks.len() as u32);
+        self.socks.push(Socket {
+            host,
+            local_port: None,
+            peer: None,
+            rcv_queue: VecDeque::new(),
+            rcv_used: 0,
+            rcv_limit: self.rcv_limit,
+            open: true,
+        });
+        id
+    }
+
+    /// Closes a socket, releasing its port and dropping queued data.
+    pub fn close(&mut self, id: SockId) -> Result<(), NetErr> {
+        let (host, port) = {
+            let s = self.sock_mut(id)?;
+            s.open = false;
+            s.rcv_queue.clear();
+            s.rcv_used = 0;
+            (s.host, s.local_port)
+        };
+        if let Some(p) = port {
+            self.ports.remove(&NetAddr { host, port: p });
+        }
+        Ok(())
+    }
+
+    /// Binds a socket to a local port.
+    pub fn bind(&mut self, id: SockId, port: u16) -> Result<(), NetErr> {
+        let host = self.sock(id)?.host;
+        let addr = NetAddr { host, port };
+        if self.ports.contains_key(&addr) {
+            return Err(NetErr::PortInUse);
+        }
+        self.sock_mut(id)?.local_port = Some(port);
+        self.ports.insert(addr, id);
+        Ok(())
+    }
+
+    /// Sets the peer address for `send`.
+    pub fn connect(&mut self, id: SockId, peer: NetAddr) -> Result<(), NetErr> {
+        self.sock_mut(id)?.peer = Some(peer);
+        Ok(())
+    }
+
+    /// The socket's bound port, if any.
+    pub fn local_port(&self, id: SockId) -> Option<u16> {
+        self.sock(id).ok().and_then(|s| s.local_port)
+    }
+
+    /// The socket's connected peer, if any.
+    pub fn peer(&self, id: SockId) -> Option<NetAddr> {
+        self.sock(id).ok().and_then(|s| s.peer)
+    }
+
+    /// Computes the transmission of `len` payload bytes from `id` to its
+    /// peer: who receives it and when. The kernel schedules the delivery.
+    pub fn send(&mut self, now: SimTime, id: SockId, len: usize) -> Result<TxInfo, NetErr> {
+        if len > MAX_DGRAM {
+            return Err(NetErr::MsgTooBig);
+        }
+        let (host, peer) = {
+            let s = self.sock(id)?;
+            (s.host, s.peer.ok_or(NetErr::NotConnected)?)
+        };
+        self.stats.sent += 1;
+        let dst = self.ports.get(&peer).copied();
+        let arrival = if peer.host == host {
+            now + self.loopback_delay
+        } else {
+            let start = if now > self.link_busy_until {
+                now
+            } else {
+                self.link_busy_until
+            };
+            let end = start + Dur::for_bytes(len as u64, self.link_bps);
+            self.link_busy_until = end;
+            end + self.link_latency
+        };
+        if dst.is_none() {
+            self.stats.dropped += 1;
+        }
+        Ok(TxInfo { arrival, dst })
+    }
+
+    /// Source address a datagram from `id` carries.
+    pub fn source_addr(&self, id: SockId) -> Result<NetAddr, NetErr> {
+        let s = self.sock(id)?;
+        Ok(NetAddr {
+            host: s.host,
+            port: s.local_port.unwrap_or(0),
+        })
+    }
+
+    /// Delivers a datagram into `dst`'s receive buffer.
+    pub fn deliver(&mut self, dst: SockId, dgram: Datagram) -> DeliverOutcome {
+        let Ok(s) = self.sock_mut(dst) else {
+            self.stats.dropped += 1;
+            return DeliverOutcome::Dropped;
+        };
+        if s.rcv_used + dgram.data.len() > s.rcv_limit {
+            self.stats.dropped += 1;
+            return DeliverOutcome::Dropped;
+        }
+        s.rcv_used += dgram.data.len();
+        let bytes = dgram.data.len() as u64;
+        s.rcv_queue.push_back(dgram);
+        self.stats.delivered += 1;
+        self.stats.bytes_delivered += bytes;
+        DeliverOutcome::Queued
+    }
+
+    /// Puts a datagram back at the *front* of the receive queue (an
+    /// in-kernel consumer hit a transient resource shortage and will
+    /// retry).
+    pub fn requeue_front(&mut self, id: SockId, d: Datagram) -> Result<(), NetErr> {
+        let s = self.sock_mut(id)?;
+        s.rcv_used += d.data.len();
+        s.rcv_queue.push_front(d);
+        Ok(())
+    }
+
+    /// Removes the next queued datagram, if any.
+    pub fn recv(&mut self, id: SockId) -> Result<Option<Datagram>, NetErr> {
+        let s = self.sock_mut(id)?;
+        let d = s.rcv_queue.pop_front();
+        if let Some(ref d) = d {
+            s.rcv_used -= d.data.len();
+        }
+        Ok(d)
+    }
+
+    /// True if a `recv` would succeed immediately.
+    pub fn rcv_ready(&self, id: SockId) -> bool {
+        self.sock(id).map(|s| !s.rcv_queue.is_empty()).unwrap_or(false)
+    }
+
+    /// Bytes queued on the receive side.
+    pub fn rcv_used(&self, id: SockId) -> usize {
+        self.sock(id).map(|s| s.rcv_used).unwrap_or(0)
+    }
+}
+
+impl Default for Net {
+    fn default() -> Self {
+        Net::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOST: u32 = 1;
+
+    fn pair(net: &mut Net, port: u16) -> (SockId, SockId) {
+        let a = net.socket(HOST);
+        let b = net.socket(HOST);
+        net.bind(b, port).unwrap();
+        net.connect(a, NetAddr { host: HOST, port }).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn loopback_send_recv() {
+        let mut net = Net::new();
+        let (a, b) = pair(&mut net, 9);
+        let tx = net.send(SimTime::ZERO, a, 100).unwrap();
+        assert_eq!(tx.dst, Some(b));
+        assert!(tx.arrival > SimTime::ZERO);
+        let d = Datagram {
+            src: net.source_addr(a).unwrap(),
+            data: vec![7; 100],
+        };
+        assert_eq!(net.deliver(b, d.clone()), DeliverOutcome::Queued);
+        assert!(net.rcv_ready(b));
+        assert_eq!(net.recv(b).unwrap(), Some(d));
+        assert!(!net.rcv_ready(b));
+        assert_eq!(net.rcv_used(b), 0);
+    }
+
+    #[test]
+    fn unbound_destination_drops() {
+        let mut net = Net::new();
+        let a = net.socket(HOST);
+        net.connect(a, NetAddr { host: HOST, port: 99 }).unwrap();
+        let tx = net.send(SimTime::ZERO, a, 10).unwrap();
+        assert_eq!(tx.dst, None);
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn full_receive_buffer_drops() {
+        let mut net = Net::new();
+        net.set_rcv_limit(150);
+        let (_a, b) = pair(&mut net, 9);
+        let big = Datagram {
+            src: NetAddr { host: HOST, port: 0 },
+            data: vec![0; 100],
+        };
+        assert_eq!(net.deliver(b, big.clone()), DeliverOutcome::Queued);
+        assert_eq!(net.deliver(b, big), DeliverOutcome::Dropped);
+        assert_eq!(net.stats().delivered, 1);
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn port_collision_rejected() {
+        let mut net = Net::new();
+        let a = net.socket(HOST);
+        let b = net.socket(HOST);
+        net.bind(a, 9).unwrap();
+        assert_eq!(net.bind(b, 9), Err(NetErr::PortInUse));
+        // Same port on another host is fine.
+        let c = net.socket(2);
+        assert_eq!(net.bind(c, 9), Ok(()));
+    }
+
+    #[test]
+    fn close_releases_port_and_rejects_use() {
+        let mut net = Net::new();
+        let a = net.socket(HOST);
+        net.bind(a, 9).unwrap();
+        net.close(a).unwrap();
+        assert_eq!(net.recv(a), Err(NetErr::BadSocket));
+        let b = net.socket(HOST);
+        assert_eq!(net.bind(b, 9), Ok(()), "port freed by close");
+    }
+
+    #[test]
+    fn remote_link_serialises_and_adds_latency() {
+        let mut net = Net::new();
+        let a = net.socket(HOST);
+        let b = net.socket(2);
+        net.bind(b, 7).unwrap();
+        net.connect(a, NetAddr { host: 2, port: 7 }).unwrap();
+        let t1 = net.send(SimTime::ZERO, a, 1250).unwrap(); // 1ms wire at 10 Mbit
+        let t2 = net.send(SimTime::ZERO, a, 1250).unwrap();
+        assert!(t2.arrival > t1.arrival, "link serialises back-to-back sends");
+        assert!(t1.arrival >= SimTime::ZERO + Dur::from_us(2000)); // wire + latency
+    }
+
+    #[test]
+    fn oversized_datagram_rejected() {
+        let mut net = Net::new();
+        let (a, _b) = pair(&mut net, 9);
+        assert_eq!(
+            net.send(SimTime::ZERO, a, MAX_DGRAM + 1),
+            Err(NetErr::MsgTooBig)
+        );
+    }
+
+    #[test]
+    fn requeue_front_preserves_order_and_accounting() {
+        let mut net = Net::new();
+        let (_a, b) = pair(&mut net, 9);
+        let d1 = Datagram { src: NetAddr { host: HOST, port: 0 }, data: vec![1; 10] };
+        let d2 = Datagram { src: NetAddr { host: HOST, port: 0 }, data: vec![2; 10] };
+        net.deliver(b, d1.clone());
+        net.deliver(b, d2.clone());
+        let got = net.recv(b).unwrap().unwrap();
+        assert_eq!(got, d1);
+        net.requeue_front(b, got).unwrap();
+        assert_eq!(net.rcv_used(b), 20);
+        assert_eq!(net.recv(b).unwrap().unwrap(), d1, "requeued dgram comes first");
+        assert_eq!(net.recv(b).unwrap().unwrap(), d2);
+    }
+
+    #[test]
+    fn send_without_connect_fails() {
+        let mut net = Net::new();
+        let a = net.socket(HOST);
+        assert_eq!(net.send(SimTime::ZERO, a, 10), Err(NetErr::NotConnected));
+    }
+}

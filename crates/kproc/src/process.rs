@@ -1,0 +1,221 @@
+//! The process table.
+
+use std::collections::BTreeMap;
+
+use ksim::{Dur, SimTime};
+
+use crate::program::{Program, UserCtx};
+use crate::types::{Chan, Pid, Sig};
+
+/// Scheduling state of a process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProcState {
+    /// On the run queue (or about to be placed there).
+    Runnable,
+    /// Currently on the CPU.
+    Running,
+    /// Asleep on a channel.
+    Sleeping(Chan),
+    /// Finished, with an exit status.
+    Exited(i32),
+}
+
+/// Per-process accounting, read by the experiment harnesses.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ProcAccounting {
+    /// User-mode CPU consumed.
+    pub user_time: Dur,
+    /// Kernel-mode CPU consumed on this process's behalf (syscalls).
+    pub sys_time: Dur,
+    /// Voluntary context switches (blocked).
+    pub vcsw: u64,
+    /// Involuntary context switches (quantum expiry).
+    pub icsw: u64,
+    /// System calls issued.
+    pub syscalls: u64,
+}
+
+/// One process.
+pub struct Process {
+    /// Identity.
+    pub pid: Pid,
+    /// Scheduling state.
+    pub state: ProcState,
+    /// The user program.
+    pub program: Box<dyn Program>,
+    /// Context handed to the next `program.step()` (syscall return,
+    /// signals).
+    pub ctx: UserCtx,
+    /// Signals the process has asked to catch.
+    pub catches: Vec<Sig>,
+    /// Signals delivered but not yet consumed by a `pause`/step.
+    pub pending_sigs: Vec<Sig>,
+    /// Repeating interval timer period, if armed.
+    pub itimer: Option<Dur>,
+    /// User compute left over after a quantum preemption; resumed before
+    /// the program is stepped again.
+    pub pending_compute: Option<Dur>,
+    /// Recently consumed CPU, decayed periodically (the 4.3BSD `p_cpu`
+    /// analogue): lower means better scheduling priority.
+    pub recent_cpu: Dur,
+    /// Accounting.
+    pub acct: ProcAccounting,
+    /// When the process was created.
+    pub started: SimTime,
+    /// When it exited (for reports).
+    pub ended: Option<SimTime>,
+}
+
+impl Process {
+    /// True if the process catches `sig`.
+    pub fn catches(&self, sig: Sig) -> bool {
+        self.catches.contains(&sig)
+    }
+
+    /// True if the process has exited.
+    pub fn exited(&self) -> bool {
+        matches!(self.state, ProcState::Exited(_))
+    }
+}
+
+/// The process table: owns every process, allocates pids.
+#[derive(Default)]
+pub struct ProcTable {
+    procs: BTreeMap<Pid, Process>,
+    next_pid: u32,
+}
+
+impl ProcTable {
+    /// An empty table. Pid 0 is never handed out (it is the "kernel").
+    pub fn new() -> ProcTable {
+        ProcTable {
+            procs: BTreeMap::new(),
+            next_pid: 1,
+        }
+    }
+
+    /// Creates a process running `program`, initially runnable.
+    pub fn spawn(&mut self, program: Box<dyn Program>, now: SimTime) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(
+            pid,
+            Process {
+                pid,
+                state: ProcState::Runnable,
+                program,
+                ctx: UserCtx::default(),
+                catches: Vec::new(),
+                pending_sigs: Vec::new(),
+                itimer: None,
+                pending_compute: None,
+                recent_cpu: Dur::ZERO,
+                acct: ProcAccounting::default(),
+                started: now,
+                ended: None,
+            },
+        );
+        pid
+    }
+
+    /// Looks up a process.
+    pub fn get(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Looks up a process mutably.
+    pub fn get_mut(&mut self, pid: Pid) -> Option<&mut Process> {
+        self.procs.get_mut(&pid)
+    }
+
+    /// Indexes a process that must exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is unknown.
+    pub fn must(&self, pid: Pid) -> &Process {
+        self.procs.get(&pid).unwrap_or_else(|| panic!("no {pid:?}"))
+    }
+
+    /// Mutable [`ProcTable::must`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is unknown.
+    pub fn must_mut(&mut self, pid: Pid) -> &mut Process {
+        self.procs
+            .get_mut(&pid)
+            .unwrap_or_else(|| panic!("no {pid:?}"))
+    }
+
+    /// Iterates all processes in pid order.
+    pub fn iter(&self) -> impl Iterator<Item = &Process> + '_ {
+        self.procs.values()
+    }
+
+    /// Every process sleeping on `chan`.
+    pub fn sleepers(&self, chan: Chan) -> Vec<Pid> {
+        self.procs
+            .values()
+            .filter(|p| p.state == ProcState::Sleeping(chan))
+            .map(|p| p.pid)
+            .collect()
+    }
+
+    /// True when every process has exited.
+    pub fn all_exited(&self) -> bool {
+        self.procs.values().all(|p| p.exited())
+    }
+
+    /// True if any process is runnable or running (used to decide whether
+    /// deferred kernel work may monopolise the CPU).
+    pub fn any_user_demand(&self) -> bool {
+        self.procs
+            .values()
+            .any(|p| matches!(p.state, ProcState::Runnable | ProcState::Running))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Step;
+
+    struct Nop;
+    impl Program for Nop {
+        fn step(&mut self, _ctx: &mut UserCtx) -> Step {
+            Step::Exit(0)
+        }
+    }
+
+    #[test]
+    fn spawn_assigns_unique_pids() {
+        let mut t = ProcTable::new();
+        let a = t.spawn(Box::new(Nop), SimTime::ZERO);
+        let b = t.spawn(Box::new(Nop), SimTime::ZERO);
+        assert_ne!(a, b);
+        assert_eq!(t.must(a).state, ProcState::Runnable);
+    }
+
+    #[test]
+    fn sleepers_filters_by_channel() {
+        let mut t = ProcTable::new();
+        let a = t.spawn(Box::new(Nop), SimTime::ZERO);
+        let b = t.spawn(Box::new(Nop), SimTime::ZERO);
+        let chan = Chan::new(crate::types::ChanSpace::Buf, 9);
+        t.must_mut(a).state = ProcState::Sleeping(chan);
+        t.must_mut(b).state = ProcState::Sleeping(Chan::new(crate::types::ChanSpace::Buf, 10));
+        assert_eq!(t.sleepers(chan), vec![a]);
+    }
+
+    #[test]
+    fn demand_and_exit_tracking() {
+        let mut t = ProcTable::new();
+        let a = t.spawn(Box::new(Nop), SimTime::ZERO);
+        assert!(t.any_user_demand());
+        assert!(!t.all_exited());
+        t.must_mut(a).state = ProcState::Exited(0);
+        assert!(!t.any_user_demand());
+        assert!(t.all_exited());
+    }
+}

@@ -1,0 +1,82 @@
+//! The CPU-availability test program (§6.2).
+//!
+//! "Baseline performance indices are obtained by executing the test
+//! program in the IDLE environment and noting how long a fixed set of
+//! operations take to complete." The program performs `ops` operations of
+//! `op_cost` user CPU each and exits; the harness compares wall-clock
+//! completion times across environments.
+
+use ksim::Dur;
+
+use crate::program::{Program, Step, UserCtx};
+
+/// A fixed amount of pure user-mode computation.
+pub struct CpuBound {
+    op_cost: Dur,
+    ops_total: u64,
+    ops_done: u64,
+}
+
+impl CpuBound {
+    /// `ops` operations of `op_cost` each.
+    pub fn new(ops: u64, op_cost: Dur) -> CpuBound {
+        CpuBound {
+            op_cost,
+            ops_total: ops,
+            ops_done: 0,
+        }
+    }
+
+    /// Convenience: a workload of `total` CPU time in 1 ms operations.
+    pub fn with_total(total: Dur) -> CpuBound {
+        let op = Dur::from_ms(1);
+        CpuBound::new(total.as_ns().div_ceil(op.as_ns()), op)
+    }
+
+    /// Operations completed so far.
+    pub fn ops_done(&self) -> u64 {
+        self.ops_done
+    }
+
+    /// The total user CPU the full run needs.
+    pub fn total_cpu(&self) -> Dur {
+        self.op_cost * self.ops_total
+    }
+}
+
+impl Program for CpuBound {
+    fn step(&mut self, _ctx: &mut UserCtx) -> Step {
+        if self.ops_done < self.ops_total {
+            self.ops_done += 1;
+            Step::Compute(self.op_cost)
+        } else {
+            Step::Exit(0)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cpubound"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exact_op_count() {
+        let mut p = CpuBound::new(3, Dur::from_ms(2));
+        let mut ctx = UserCtx::default();
+        for _ in 0..3 {
+            assert_eq!(p.step(&mut ctx), Step::Compute(Dur::from_ms(2)));
+        }
+        assert_eq!(p.step(&mut ctx), Step::Exit(0));
+        assert_eq!(p.ops_done(), 3);
+    }
+
+    #[test]
+    fn with_total_rounds_up() {
+        let p = CpuBound::with_total(Dur::from_ms(10) + Dur::from_us(1));
+        assert_eq!(p.total_cpu(), Dur::from_ms(11));
+    }
+}

@@ -1,0 +1,35 @@
+//! The user programs the experiments run.
+//!
+//! Each program is a [`crate::Program`] state machine written purely in
+//! terms of system calls, mirroring the C programs of the paper's §4 and
+//! §6:
+//!
+//! * [`CpuBound`] — the availability test program: a fixed number of
+//!   fixed-cost operations (§6.2).
+//! * [`Cp`] — `cp`: a read/write copy loop through a user buffer, with
+//!   `fsync` on the destination (§6.1's CP environment).
+//! * [`Scp`] — `scp`: the splice-based copy, synchronous or
+//!   `FASYNC`+`SIGIO` (§6.1's SCP environment).
+//! * [`MoviePlayer`] — the §4 example: async audio splice plus
+//!   interval-timer-paced video frame splices.
+//! * [`net`] — UDP senders/sinks and the two relay variants
+//!   (read/write vs splice) for the socket-to-socket data path (§5.1).
+//! * [`Writer`] — creates files through the normal write path (exercises
+//!   allocation + delayed writes).
+
+pub mod cp;
+pub mod cpubound;
+pub mod movie;
+pub mod net;
+pub mod repeat;
+pub mod scp;
+pub mod util;
+pub mod writer;
+
+pub use cp::Cp;
+pub use cpubound::CpuBound;
+pub use movie::MoviePlayer;
+pub use net::{UdpRelayRw, UdpRelaySplice, UdpSink, UdpSource};
+pub use repeat::Repeat;
+pub use scp::{Scp, ScpMode};
+pub use writer::Writer;

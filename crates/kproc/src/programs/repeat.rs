@@ -1,0 +1,113 @@
+//! A program combinator: run a program repeatedly.
+//!
+//! Used by the availability harnesses to turn a one-shot copy program
+//! into a sustained load ("execution of the test program concurrent with
+//! a process executing cp", §6.2 — for the whole measurement window).
+
+use crate::program::{Program, Step, UserCtx};
+
+/// Runs `make()` instances back to back, `count` times (or forever with
+/// `u32::MAX`), exiting early if an instance fails.
+pub struct Repeat {
+    make: Box<dyn Fn() -> Box<dyn Program>>,
+    inner: Box<dyn Program>,
+    remaining: u32,
+    runs_done: u32,
+}
+
+impl Repeat {
+    /// Repeats the program produced by `make`, `count` ≥ 1 times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: u32, make: impl Fn() -> Box<dyn Program> + 'static) -> Repeat {
+        assert!(count >= 1);
+        let inner = make();
+        Repeat {
+            make: Box::new(make),
+            inner,
+            remaining: count,
+            runs_done: 0,
+        }
+    }
+
+    /// Completed inner runs so far.
+    pub fn runs_done(&self) -> u32 {
+        self.runs_done
+    }
+}
+
+impl Program for Repeat {
+    fn step(&mut self, ctx: &mut UserCtx) -> Step {
+        loop {
+            match self.inner.step(ctx) {
+                Step::Exit(0) => {
+                    self.runs_done += 1;
+                    self.remaining -= 1;
+                    if self.remaining == 0 {
+                        return Step::Exit(0);
+                    }
+                    self.inner = (self.make)();
+                    // Fall through: the fresh instance takes this step.
+                    continue;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::Dur;
+
+    struct TwoSteps {
+        left: u32,
+    }
+    impl Program for TwoSteps {
+        fn step(&mut self, _ctx: &mut UserCtx) -> Step {
+            if self.left == 0 {
+                return Step::Exit(0);
+            }
+            self.left -= 1;
+            Step::Compute(Dur::from_ms(1))
+        }
+    }
+
+    #[test]
+    fn repeats_the_inner_program() {
+        let mut p = Repeat::new(3, || Box::new(TwoSteps { left: 2 }));
+        let mut ctx = UserCtx::default();
+        let mut computes = 0;
+        loop {
+            match p.step(&mut ctx) {
+                Step::Compute(_) => computes += 1,
+                Step::Exit(0) => break,
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(computes, 6);
+        assert_eq!(p.runs_done(), 3);
+    }
+
+    struct FailFast;
+    impl Program for FailFast {
+        fn step(&mut self, _ctx: &mut UserCtx) -> Step {
+            Step::Exit(1)
+        }
+    }
+
+    #[test]
+    fn inner_failure_stops_the_loop() {
+        let mut p = Repeat::new(5, || Box::new(FailFast));
+        let mut ctx = UserCtx::default();
+        assert_eq!(p.step(&mut ctx), Step::Exit(1));
+        assert_eq!(p.runs_done(), 0);
+    }
+}

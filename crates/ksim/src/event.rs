@@ -1,0 +1,248 @@
+//! Cancellable, deterministic event queue.
+//!
+//! Events are ordered by `(time, sequence)`: two events scheduled for the
+//! same instant fire in the order they were scheduled, which pins down the
+//! behaviour of tie-heavy workloads (e.g. several disk interrupts completing
+//! on the same clock edge) across runs and platforms.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+#[derive(PartialEq, Eq)]
+struct Key {
+    time: SimTime,
+    seq: u64,
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Entry<E> {
+    key: Key,
+    id: EventId,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A priority queue of future events plus the simulation clock.
+///
+/// The clock (`now`) only advances when an event is popped; scheduling in
+/// the past is a harness bug and panics.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Ids of scheduled-but-not-yet-fired, not-cancelled events. Entries
+    /// whose id is absent are skipped lazily on pop/peek.
+    live: HashSet<EventId>,
+    now: SimTime,
+    next_seq: u64,
+    next_id: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at boot (t = 0).
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            next_id: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `ev` to fire at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule(&mut self, at: SimTime, ev: E) -> EventId {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(id);
+        self.heap.push(Reverse(Entry {
+            key: Key { time: at, seq },
+            id,
+            ev,
+        }));
+        id
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the event had not yet
+    /// fired (or been cancelled); cancelling twice or after firing is a
+    /// no-op returning `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // Lazy deletion: the entry stays in the heap and is skipped on pop.
+        self.live.remove(&id)
+    }
+
+    /// Removes and returns the next event, advancing the clock to its time.
+    /// Returns `None` when no live events remain.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if !self.live.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.key.time >= self.now);
+            self.now = entry.key.time;
+            return Some((entry.key.time, entry.ev));
+        }
+        None
+    }
+
+    /// The firing time of the next live event, if any, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if !self.live.contains(&entry.id) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(entry.key.time);
+        }
+        None
+    }
+
+    /// Number of live (not cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + Dur::from_us(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), 1);
+        q.schedule(t(5), 2);
+        q.schedule(t(5), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn cannot_schedule_into_past() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(5), ());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel must be a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.pop();
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+    }
+
+    #[test]
+    fn same_instant_rescheduling_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 1);
+        q.pop();
+        // Scheduling exactly at `now` is legal (zero-latency kernel work).
+        q.schedule(t(1), 2);
+        assert_eq!(q.pop(), Some((t(1), 2)));
+    }
+}

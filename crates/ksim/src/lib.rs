@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Discrete-event simulation engine for the in-kernel data path reproduction.
+//!
+//! This crate provides the deterministic substrate every other crate builds
+//! on: a virtual clock ([`SimTime`], [`Dur`]), a cancellable event queue
+//! ([`EventQueue`]), a BSD-style callout list ([`Callout`]) matching the
+//! mechanism the paper uses to decouple the read and write sides of a
+//! splice, cheap named counters ([`Stats`]), and an optional trace ring
+//! ([`Trace`]).
+//!
+//! Everything here is single-threaded on purpose: the simulated machine is
+//! a uniprocessor DECstation 5000/200, and determinism (same inputs → same
+//! event order → same measurements) is a correctness requirement for the
+//! experiment harnesses.
+
+pub mod callout;
+pub mod event;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use callout::{Callout, CalloutId};
+pub use event::{EventId, EventQueue};
+pub use stats::{Hist, Stats};
+pub use time::{Dur, SimTime};
+pub use trace::Trace;

@@ -1,0 +1,123 @@
+//! Lightweight event tracing for debugging simulations.
+//!
+//! Disabled traces cost one branch; enabled traces append `(time, line)`
+//! records into a bounded ring so a failing test can dump the last few
+//! thousand kernel events. The `emit` method takes a closure so message
+//! formatting is skipped entirely when tracing is off.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// A bounded ring buffer of timestamped trace lines.
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    ring: VecDeque<(SimTime, String)>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl Trace {
+    /// Creates a disabled trace with room for `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            enabled: false,
+            capacity: capacity.max(1),
+            ring: VecDeque::new(),
+        }
+    }
+
+    /// Turns tracing on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// True when records are being captured.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a trace line if enabled; `f` is not called otherwise.
+    pub fn emit(&mut self, now: SimTime, f: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((now, f()));
+    }
+
+    /// The captured records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = (SimTime, &str)> + '_ {
+        self.ring.iter().map(|(t, s)| (*t, s.as_str()))
+    }
+
+    /// Renders all records as one newline-joined string (for test output).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (t, s) in self.records() {
+            out.push_str(&format!("{t} {s}\n"));
+        }
+        out
+    }
+
+    /// Drops all captured records.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn disabled_trace_skips_formatting() {
+        let mut tr = Trace::new(8);
+        let mut called = false;
+        tr.emit(SimTime::ZERO, || {
+            called = true;
+            String::from("x")
+        });
+        assert!(!called);
+        assert_eq!(tr.records().count(), 0);
+    }
+
+    #[test]
+    fn enabled_trace_captures_in_order() {
+        let mut tr = Trace::new(8);
+        tr.set_enabled(true);
+        tr.emit(SimTime::ZERO, || "first".into());
+        tr.emit(SimTime::ZERO + Dur::from_us(1), || "second".into());
+        let lines: Vec<_> = tr.records().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(lines, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut tr = Trace::new(2);
+        tr.set_enabled(true);
+        for i in 0..5 {
+            tr.emit(SimTime::ZERO, move || format!("{i}"));
+        }
+        let lines: Vec<_> = tr.records().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(lines, vec!["3", "4"]);
+    }
+
+    #[test]
+    fn dump_contains_lines() {
+        let mut tr = Trace::new(4);
+        tr.set_enabled(true);
+        tr.emit(SimTime::ZERO, || "hello".into());
+        assert!(tr.dump().contains("hello"));
+        tr.clear();
+        assert!(tr.dump().is_empty());
+    }
+}

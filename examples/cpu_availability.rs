@@ -1,0 +1,62 @@
+//! A miniature of the paper's §6.2 CPU-availability experiment, on the
+//! RAM disk: run a CPU-bound test program alone, beside `cp`, and beside
+//! `scp`, and report the slowdown factors of Table 1.
+//!
+//! ```sh
+//! cargo run --release --example cpu_availability
+//! ```
+
+use khw::DiskProfile;
+use kproc::programs::{Cp, CpuBound, Scp, ScpMode};
+use ksim::Dur;
+use splice::{Kernel, KernelBuilder};
+
+const MB: u64 = 1024 * 1024;
+
+fn boot() -> Kernel {
+    let mut k = KernelBuilder::new()
+        .disk("d0", DiskProfile::ramdisk())
+        .disk("d1", DiskProfile::ramdisk())
+        .build();
+    k.setup_file("/d0/src", 4 * MB, 5);
+    k.cold_cache();
+    k
+}
+
+fn run(env: &str, copier: Option<Box<dyn kproc::Program>>) -> f64 {
+    let mut k = boot();
+    let t0 = k.now();
+    let test = k.spawn(Box::new(CpuBound::new(4_000, Dur::from_ms(1))));
+    if let Some(c) = copier {
+        k.spawn(c);
+    }
+    let horizon = k.horizon(600);
+    let t1 = k.run_until_exit_of(test, horizon);
+    let elapsed = t1.since(t0).as_secs_f64();
+    println!("  {env:<5} environment: test program finished in {elapsed:.3}s");
+    elapsed
+}
+
+fn main() {
+    println!("CPU availability on the RAM disk (4s of test-program CPU):");
+    let idle = run("IDLE", None);
+    let cp = run(
+        "CP",
+        Some(Box::new(Cp::with_options("/d0/src", "/d1/dst", 8192, true, 10_000))),
+    );
+    let scp = run(
+        "SCP",
+        Some(Box::new(Scp::with_options(
+            "/d0/src",
+            "/d1/dst",
+            ScpMode::Async,
+            10_000,
+        ))),
+    );
+    println!();
+    println!("  F_cp  = {:.2}  (test at {:.0}% of idle speed)", cp / idle, 100.0 * idle / cp);
+    println!("  F_scp = {:.2}  (test at {:.0}% of idle speed)", scp / idle, 100.0 * idle / scp);
+    println!("  improvement factor = {:.2}", cp / scp);
+    println!();
+    println!("paper (Table 1, RAM row): F_cp 2.00, F_scp 1.25, factor 1.6");
+}

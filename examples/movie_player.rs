@@ -1,0 +1,91 @@
+//! The paper's §4 example: digitized movie playback with splice.
+//!
+//! The audio track goes to `/dev/speaker` in one asynchronous
+//! `splice(audiofile, audio_dev, SPLICE_EOF)` — the DAC's own pacing
+//! throttles the transfer. Video frames go to `/dev/video_dac` one
+//! bounded synchronous splice per interval-timer tick.
+//!
+//! ```sh
+//! cargo run --release --example movie_player
+//! ```
+
+use kdev::{AudioDac, VideoDac};
+use khw::DiskProfile;
+use kproc::programs::MoviePlayer;
+use ksim::Dur;
+use splice::objects::CharDev;
+use splice::KernelBuilder;
+
+fn main() {
+    const FRAME: usize = 64 * 1024; // 64 KB video frames
+    const FRAMES: u64 = 90; // 3 seconds at 30 fps
+    const FPS: u64 = 30;
+    const AUDIO_RATE: u64 = 8_000; // Sun /dev/audio: 8 kHz µ-law
+
+    let mut k = KernelBuilder::new()
+        .disk("d0", DiskProfile::rz58())
+        .audio_dac("/dev/speaker", AudioDac::new(AUDIO_RATE, 64 * 1024))
+        .video_dac("/dev/video_dac", VideoDac::new(FRAME))
+        .build();
+
+    // Three seconds of audio and ninety frames of video.
+    let audio_len = AUDIO_RATE * FRAMES / FPS;
+    k.setup_file("/d0/movie.audio", audio_len, 1);
+    k.setup_file("/d0/movie.video", FRAMES * FRAME as u64, 2);
+    k.cold_cache();
+
+    let player = MoviePlayer::new(
+        "/d0/movie.audio",
+        "/d0/movie.video",
+        "/dev/speaker",
+        "/dev/video_dac",
+        FRAME as u64,
+        Dur::from_ms(1000 / FPS),
+    );
+    let t0 = k.now();
+    k.spawn(Box::new(player));
+    let horizon = k.horizon(60);
+    let t1 = k.run_to_exit(horizon);
+
+    println!(
+        "playback finished in {:.2} simulated seconds (nominal {:.2})",
+        t1.since(t0).as_secs_f64(),
+        FRAMES as f64 / FPS as f64
+    );
+
+    for unit in k.cdevs() {
+        match &unit.dev {
+            CharDev::Audio(a) => {
+                println!(
+                    "{}: {} bytes played, {} underruns",
+                    unit.path,
+                    a.total_accepted(),
+                    a.underruns()
+                );
+                assert_eq!(a.total_accepted(), audio_len);
+                assert_eq!(a.underruns(), 0, "audio must not glitch");
+            }
+            CharDev::Video(v) => {
+                let intervals = v.frame_intervals();
+                let mean_ms = intervals
+                    .iter()
+                    .map(|d| d.as_secs_f64() * 1e3)
+                    .sum::<f64>()
+                    / intervals.len().max(1) as f64;
+                let worst_ms = intervals
+                    .iter()
+                    .map(|d| d.as_secs_f64() * 1e3)
+                    .fold(0.0f64, f64::max);
+                println!(
+                    "{}: {} frames, mean interval {:.1} ms, worst {:.1} ms",
+                    unit.path,
+                    v.frames(),
+                    mean_ms,
+                    worst_ms
+                );
+                assert_eq!(v.frames(), FRAMES);
+            }
+            CharDev::Fb(_) => {}
+        }
+    }
+}

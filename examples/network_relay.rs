@@ -1,0 +1,95 @@
+//! Socket-to-socket splice (§5.1): a UDP relay, two ways.
+//!
+//! A source sends datagrams to a relay, which forwards them to a sink.
+//! The conventional relay does `recv`/`send` through user space per
+//! datagram; the splice relay cross-connects the two sockets in the
+//! kernel. Both run beside a CPU-bound process, and the measurement is
+//! the paper's: how much the relay slows that process down — plus the
+//! UDP loss each approach suffers. (The sink and relay are given open
+//! counts and run until the experiment window closes; UDP drops are
+//! expected behaviour when buffers fill, not an error.)
+//!
+//! ```sh
+//! cargo run --release --example network_relay
+//! ```
+
+use kproc::programs::{CpuBound, UdpRelayRw, UdpRelaySplice, UdpSink, UdpSource};
+use kproc::SockAddr;
+use ksim::Dur;
+use splice::{Kernel, KernelBuilder};
+
+const DGRAMS: u64 = 400;
+const DGRAM_SIZE: usize = 4096;
+const PORT_IN: u16 = 7000; // relay listens here
+const PORT_OUT: u16 = 7001; // sink listens here
+
+struct Outcome {
+    test_elapsed: f64,
+    delivered: u64,
+    dropped: u64,
+}
+
+fn run(splice_relay: bool) -> Outcome {
+    let mut k: Kernel = KernelBuilder::new().build();
+
+    // A CPU-bound bystander, to measure what the relay costs it.
+    let test = k.spawn(Box::new(CpuBound::new(3_000, Dur::from_ms(1))));
+
+    // Sink and relay are given open-ended counts; the experiment ends when
+    // the bystander finishes its fixed work.
+    k.spawn(Box::new(UdpSink::new(PORT_OUT, u64::MAX)));
+    if splice_relay {
+        k.spawn(Box::new(UdpRelaySplice::new(
+            PORT_IN,
+            SockAddr { host: 1, port: PORT_OUT },
+            u64::MAX / 2,
+        )));
+    } else {
+        k.spawn(Box::new(UdpRelayRw::new(
+            PORT_IN,
+            SockAddr { host: 1, port: PORT_OUT },
+            u64::MAX,
+        )));
+    }
+    // ~0.8 MB/s offered load.
+    k.spawn(Box::new(UdpSource::new(
+        SockAddr { host: 1, port: PORT_IN },
+        DGRAM_SIZE,
+        DGRAMS,
+        Dur::from_ms(5),
+        99,
+    )));
+
+    let t0 = k.now();
+    let horizon = k.horizon(300);
+    k.run_until_exit_of(test, horizon);
+    let stats = k.net().stats();
+    Outcome {
+        test_elapsed: k.now().since(t0).as_secs_f64(),
+        delivered: stats.delivered,
+        dropped: stats.dropped,
+    }
+}
+
+fn main() {
+    let rw = run(false);
+    let sp = run(true);
+    println!(
+        "offered load: {DGRAMS} datagrams x {DGRAM_SIZE} B at 5 ms spacing; \
+         bystander needs 3.0 s of CPU"
+    );
+    println!(
+        "  read/write relay: bystander took {:.2}s; {} datagrams delivered, {} dropped",
+        rw.test_elapsed, rw.delivered, rw.dropped
+    );
+    println!(
+        "  splice relay    : bystander took {:.2}s; {} datagrams delivered, {} dropped",
+        sp.test_elapsed, sp.delivered, sp.dropped
+    );
+    println!();
+    println!("everything above 3.0 s was stolen by the relay path");
+    assert!(
+        sp.test_elapsed <= rw.test_elapsed,
+        "the splice relay must cost the bystander no more CPU"
+    );
+}

@@ -1,0 +1,13 @@
+//! Workspace root: re-exports for the examples and integration tests.
+//!
+//! The implementation lives in the `crates/` workspace members; see the
+//! `splice` crate for the kernel and the paper's contribution.
+
+pub use kbuf;
+pub use kdev;
+pub use kfs;
+pub use khw;
+pub use knet;
+pub use kproc;
+pub use ksim;
+pub use splice;

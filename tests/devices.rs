@@ -1,0 +1,222 @@
+//! Cross-crate integration: splices to and from character devices (§4,
+//! §5.1) — the movie player, audio pacing, and framebuffer streaming.
+
+use kdev::{AudioDac, Framebuffer, VideoDac};
+use khw::DiskProfile;
+use kproc::programs::{MoviePlayer, UdpSink};
+use kproc::{Fd, OpenFlags, ProcState, Program, SockAddr, SpliceLen, Step, SyscallReq, UserCtx};
+use ksim::Dur;
+use splice::objects::CharDev;
+use splice::KernelBuilder;
+
+/// A minimal program that splices one file to one device and exits.
+struct SpliceOnce {
+    src: String,
+    dst: String,
+    len: SpliceLen,
+    st: u32,
+    src_fd: Option<Fd>,
+    dst_fd: Option<Fd>,
+}
+
+impl SpliceOnce {
+    fn new(src: &str, dst: &str, len: SpliceLen) -> SpliceOnce {
+        SpliceOnce {
+            src: src.into(),
+            dst: dst.into(),
+            len,
+            st: 0,
+            src_fd: None,
+            dst_fd: None,
+        }
+    }
+}
+
+impl Program for SpliceOnce {
+    fn step(&mut self, ctx: &mut UserCtx) -> Step {
+        match self.st {
+            0 => {
+                self.st = 1;
+                Step::Syscall(SyscallReq::Open {
+                    path: self.src.clone(),
+                    flags: OpenFlags::RDONLY,
+                })
+            }
+            1 => {
+                self.src_fd = ctx.take_ret().as_fd();
+                self.st = 2;
+                Step::Syscall(SyscallReq::Open {
+                    path: self.dst.clone(),
+                    flags: OpenFlags::WRONLY,
+                })
+            }
+            2 => {
+                self.dst_fd = ctx.take_ret().as_fd();
+                self.st = 3;
+                Step::Syscall(SyscallReq::Splice {
+                    src: self.src_fd.unwrap(),
+                    dst: self.dst_fd.unwrap(),
+                    len: self.len,
+                })
+            }
+            3 => {
+                let ret = ctx.take_ret();
+                Step::Exit(if ret.as_val() >= 0 { 0 } else { 1 })
+            }
+            _ => Step::Exit(0),
+        }
+    }
+}
+
+#[test]
+fn audio_splice_is_paced_by_the_dac() {
+    // 16 KB of 8 kHz audio takes 2 seconds of playback; the splice is
+    // synchronous, so the caller finishes when the DAC has accepted
+    // everything (the last buffer-full still draining).
+    let mut k = KernelBuilder::new()
+        .disk("d0", DiskProfile::ramdisk())
+        .audio_dac("/dev/speaker", AudioDac::new(8_000, 4_096))
+        .build();
+    k.setup_file("/d0/audio", 16 * 1024, 1);
+    k.cold_cache();
+    let t0 = k.now();
+    let pid = k.spawn(Box::new(SpliceOnce::new(
+        "/d0/audio",
+        "/dev/speaker",
+        SpliceLen::Eof,
+    )));
+    let horizon = k.horizon(60);
+    let t1 = k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    let elapsed = t1.since(t0).as_secs_f64();
+    // With a 4 KB device buffer the splice must wait for drain: at least
+    // (16 KB - buffer) / 8 KB/s of paced time.
+    assert!(
+        elapsed > 1.4,
+        "splice must be paced by the DAC, took {elapsed:.2}s"
+    );
+    let CharDev::Audio(dac) = &k.cdevs()[0].dev else {
+        panic!()
+    };
+    assert_eq!(dac.total_accepted(), 16 * 1024);
+    assert_eq!(dac.underruns(), 0);
+}
+
+#[test]
+fn movie_player_hits_every_frame_without_audio_glitches() {
+    const FRAME: usize = 32 * 1024;
+    const FRAMES: u64 = 30;
+    let mut k = KernelBuilder::new()
+        .disk("d0", DiskProfile::rz58())
+        .audio_dac("/dev/speaker", AudioDac::new(8_000, 64 * 1024))
+        .video_dac("/dev/video_dac", VideoDac::new(FRAME))
+        .build();
+    k.setup_file("/d0/movie.audio", 8_000, 1); // 1 s of audio
+    k.setup_file("/d0/movie.video", FRAMES * FRAME as u64, 2);
+    k.cold_cache();
+    let pid = k.spawn(Box::new(MoviePlayer::new(
+        "/d0/movie.audio",
+        "/d0/movie.video",
+        "/dev/speaker",
+        "/dev/video_dac",
+        FRAME as u64,
+        Dur::from_ms(33),
+    )));
+    let horizon = k.horizon(120);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    for unit in k.cdevs() {
+        match &unit.dev {
+            CharDev::Audio(a) => {
+                assert_eq!(a.total_accepted(), 8_000);
+                assert_eq!(a.underruns(), 0);
+            }
+            CharDev::Video(v) => {
+                assert_eq!(v.frames(), FRAMES);
+                // Pacing: intervals should cluster around the 33 ms timer.
+                let worst = v
+                    .frame_intervals()
+                    .iter()
+                    .map(|d| d.as_secs_f64())
+                    .fold(0.0f64, f64::max);
+                assert!(worst < 0.08, "worst frame gap {worst:.3}s");
+            }
+            CharDev::Fb(_) => {}
+        }
+    }
+}
+
+#[test]
+fn framebuffer_to_socket_splice_delivers_datagrams() {
+    const FRAME: usize = 64 * 1024;
+    let mut k = KernelBuilder::new()
+        .framebuffer("/dev/fb", Framebuffer::new(FRAME, 30))
+        .build();
+    let total = 4 * FRAME as u64;
+    let dgrams = total / 8192;
+    let sink = k.spawn(Box::new(UdpSink::new(6000, dgrams)));
+
+    struct FbToSock;
+    // Reuse SpliceOnce for the fb→socket case via a socket set up by a
+    // custom program would be longer; instead open fb + socket inline.
+    struct Streamer {
+        st: u32,
+        fb: Option<Fd>,
+        sock: Option<Fd>,
+        total: u64,
+    }
+    impl Program for Streamer {
+        fn step(&mut self, ctx: &mut UserCtx) -> Step {
+            match self.st {
+                0 => {
+                    self.st = 1;
+                    Step::Syscall(SyscallReq::Open {
+                        path: "/dev/fb".into(),
+                        flags: OpenFlags::RDONLY,
+                    })
+                }
+                1 => {
+                    self.fb = ctx.take_ret().as_fd();
+                    self.st = 2;
+                    Step::Syscall(SyscallReq::Socket)
+                }
+                2 => {
+                    self.sock = ctx.take_ret().as_fd();
+                    self.st = 3;
+                    Step::Syscall(SyscallReq::Connect {
+                        fd: self.sock.unwrap(),
+                        addr: SockAddr { host: 1, port: 6000 },
+                    })
+                }
+                3 => {
+                    ctx.take_ret();
+                    self.st = 4;
+                    Step::Syscall(SyscallReq::Splice {
+                        src: self.fb.unwrap(),
+                        dst: self.sock.unwrap(),
+                        len: SpliceLen::Bytes(self.total),
+                    })
+                }
+                4 => {
+                    let ret = ctx.take_ret();
+                    Step::Exit(if ret.as_val() >= 0 { 0 } else { 1 })
+                }
+                _ => Step::Exit(0),
+            }
+        }
+    }
+    let _ = FbToSock;
+    k.spawn(Box::new(Streamer {
+        st: 0,
+        fb: None,
+        sock: None,
+        total,
+    }));
+    let horizon = k.horizon(120);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(sink).state, ProcState::Exited(0)));
+    assert_eq!(k.net().stats().bytes_delivered, total);
+    // No user-space copies on the streaming side (the sink's recv copies
+    // are its own).
+    assert_eq!(k.stats().get("copy.copyin_bytes"), 0);
+}

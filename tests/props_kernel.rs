@@ -1,0 +1,102 @@
+//! Whole-kernel property tests: arbitrary file sizes and configurations
+//! through the full splice path, with data integrity and filesystem
+//! consistency as the properties — plus determinism of the simulation.
+
+use khw::DiskProfile;
+use kproc::programs::{Cp, Scp, ScpMode};
+use kproc::ProcState;
+use proptest::prelude::*;
+use splice::{FlowControl, KernelBuilder};
+
+fn splice_copy_roundtrip(len: u64, seed: u64, flow: FlowControl, block_size: u32) {
+    let mut k = KernelBuilder::paper_machine(DiskProfile::ramdisk())
+        .tune(|cfg| {
+            cfg.flow = flow;
+            cfg.block_size = block_size;
+        })
+        .build();
+    k.setup_file("/d0/src", len, seed);
+    k.cold_cache();
+    let pid = k.spawn(Box::new(Scp::with_options(
+        "/d0/src",
+        "/d1/dst",
+        ScpMode::Sync,
+        1,
+    )));
+    let horizon = k.horizon(600);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    assert_eq!(
+        k.verify_pattern_file("/d1/dst", len, seed),
+        None,
+        "splice corrupted {len} bytes (bs={block_size}, flow={flow:?})"
+    );
+    let errors = k.fsck_all();
+    assert!(errors.is_empty(), "{errors:?}");
+}
+
+proptest! {
+    // Each case boots a whole kernel; keep the counts moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn splice_copies_arbitrary_sizes(len in 1u64..600_000, seed in any::<u64>()) {
+        splice_copy_roundtrip(len, seed, FlowControl::default(), 8192);
+    }
+
+    #[test]
+    fn splice_copies_under_arbitrary_flow_control(
+        len in 1u64..300_000,
+        lo_reads in 1u32..8,
+        lo_writes in 1u32..8,
+        batch in 1u32..10,
+    ) {
+        splice_copy_roundtrip(
+            len,
+            7,
+            FlowControl { lo_reads, lo_writes, batch },
+            8192,
+        );
+    }
+
+    #[test]
+    fn splice_copies_with_other_block_sizes(
+        len in 1u64..300_000,
+        bs_shift in 12u32..15, // 4 KB, 8 KB, 16 KB
+    ) {
+        splice_copy_roundtrip(len, 11, FlowControl::default(), 1 << bs_shift);
+    }
+
+    #[test]
+    fn cp_and_splice_produce_identical_files(len in 1u64..400_000, seed in any::<u64>()) {
+        let mut k = KernelBuilder::paper_machine(DiskProfile::ramdisk()).build();
+        k.setup_file("/d0/src", len, seed);
+        k.cold_cache();
+        k.spawn(Box::new(Cp::new("/d0/src", "/d1/via_cp")));
+        k.spawn(Box::new(Scp::new("/d0/src", "/d1/via_scp")));
+        let horizon = k.horizon(600);
+        k.run_to_exit(horizon);
+        let a = k.dump_file("/d1/via_cp");
+        let b = k.dump_file("/d1/via_scp");
+        prop_assert_eq!(a, b);
+        prop_assert!(k.fsck_all().is_empty());
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let mut k = KernelBuilder::paper_machine(DiskProfile::rz58()).build();
+        k.setup_file("/d0/src", 2 * 1024 * 1024, 3);
+        k.cold_cache();
+        k.spawn(Box::new(Scp::new("/d0/src", "/d1/dst")));
+        k.spawn(Box::new(Cp::new("/d0/src", "/d1/dst2")));
+        let horizon = k.horizon(600);
+        let end = k.run_to_exit(horizon);
+        let ctx = k.stats().get("sched.ctx_switches");
+        (end.as_ns(), ctx)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical inputs must give identical simulations");
+}

@@ -1,0 +1,99 @@
+//! Cross-crate integration: UDP datagram flow through the kernel.
+
+use kproc::programs::{UdpRelayRw, UdpRelaySplice, UdpSink, UdpSource};
+use kproc::{ProcState, SockAddr};
+use ksim::Dur;
+use splice::KernelBuilder;
+
+#[test]
+fn source_to_sink_direct() {
+    let mut k = KernelBuilder::new().build();
+    let sink = k.spawn(Box::new(UdpSink::new(9000, 10)));
+    let src = k.spawn(Box::new(UdpSource::new(
+        SockAddr { host: 1, port: 9000 },
+        1024,
+        10,
+        Dur::from_ms(1),
+        7,
+    )));
+    let horizon = k.horizon(60);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(sink).state, ProcState::Exited(0)));
+    assert!(matches!(k.procs().must(src).state, ProcState::Exited(0)));
+    assert_eq!(k.net().stats().delivered, 10);
+    assert_eq!(k.net().stats().bytes_delivered, 10 * 1024);
+}
+
+#[test]
+fn rw_relay_forwards_everything() {
+    let mut k = KernelBuilder::new().build();
+    let sink = k.spawn(Box::new(UdpSink::new(9001, 20)));
+    let relay = k.spawn(Box::new(UdpRelayRw::new(
+        9000,
+        SockAddr { host: 1, port: 9001 },
+        20,
+    )));
+    k.spawn(Box::new(UdpSource::new(
+        SockAddr { host: 1, port: 9000 },
+        2048,
+        20,
+        Dur::from_ms(1),
+        7,
+    )));
+    let horizon = k.horizon(60);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(sink).state, ProcState::Exited(0)));
+    assert!(matches!(k.procs().must(relay).state, ProcState::Exited(0)));
+}
+
+#[test]
+fn splice_relay_forwards_in_kernel() {
+    let mut k = KernelBuilder::new().build();
+    let total = 20u64 * 2048;
+    let sink = k.spawn(Box::new(UdpSink::new(9001, 20)));
+    let relay = k.spawn(Box::new(UdpRelaySplice::new(
+        9000,
+        SockAddr { host: 1, port: 9001 },
+        total,
+    )));
+    k.spawn(Box::new(UdpSource::new(
+        SockAddr { host: 1, port: 9000 },
+        2048,
+        20,
+        Dur::from_ms(1),
+        7,
+    )));
+    let horizon = k.horizon(60);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(sink).state, ProcState::Exited(0)));
+    assert!(matches!(k.procs().must(relay).state, ProcState::Exited(0)));
+    // The relay path never copies to user space.
+    assert_eq!(k.stats().get("splice.started"), 1);
+}
+
+#[test]
+fn rw_relay_with_cpu_contention() {
+    let mut k = KernelBuilder::new().build();
+    let test = k.spawn(Box::new(kproc::programs::CpuBound::new(
+        500,
+        Dur::from_ms(1),
+    )));
+    let sink = k.spawn(Box::new(UdpSink::new(9001, 20)));
+    let relay = k.spawn(Box::new(UdpRelayRw::new(
+        9000,
+        SockAddr { host: 1, port: 9001 },
+        20,
+    )));
+    k.spawn(Box::new(UdpSource::new(
+        SockAddr { host: 1, port: 9000 },
+        2048,
+        20,
+        Dur::from_ms(2),
+        7,
+    )));
+    let horizon = k.horizon(120);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(test).state, ProcState::Exited(0)));
+    assert!(matches!(k.procs().must(sink).state, ProcState::Exited(0)));
+    assert!(matches!(k.procs().must(relay).state, ProcState::Exited(0)));
+}

@@ -1,0 +1,85 @@
+//! Stress: many interleaved workloads on one kernel, then full
+//! verification — the "does the whole machine stay coherent" test.
+
+use khw::DiskProfile;
+use kproc::programs::{Cp, CpuBound, Scp, ScpMode, Writer};
+use kproc::ProcState;
+use ksim::Dur;
+use splice::KernelBuilder;
+
+const MB: u64 = 1024 * 1024;
+
+#[test]
+fn mixed_workload_stays_coherent() {
+    let mut k = KernelBuilder::new()
+        .disk("d0", DiskProfile::rz58())
+        .disk("d1", DiskProfile::rz56())
+        .disk("ram", DiskProfile::ramdisk())
+        .build();
+    k.setup_file("/d0/a", 2 * MB, 1);
+    k.setup_file("/d0/b", MB + 4097, 2);
+    k.setup_file("/ram/c", MB, 3);
+    k.cold_cache();
+
+    // Two splices, two cps, a writer, and a compute hog — all at once,
+    // across three disks.
+    let pids = vec![
+        k.spawn(Box::new(Scp::new("/d0/a", "/d1/a"))), // rz58 → rz56
+        k.spawn(Box::new(Scp::with_options("/ram/c", "/d0/c", ScpMode::Sync, 2))), // ram → rz58, twice
+        k.spawn(Box::new(Cp::new("/d0/b", "/ram/b"))), // rz58 → ram
+        k.spawn(Box::new(Cp::new("/ram/c", "/d1/c"))), // ram → rz56
+        k.spawn(Box::new(Writer::new("/d1/w", MB, 8192, 9))),
+        k.spawn(Box::new(CpuBound::new(2_000, Dur::from_ms(1)))),
+    ];
+
+    let horizon = k.horizon(1200);
+    k.run_to_exit(horizon);
+    for pid in pids {
+        assert!(
+            matches!(k.procs().must(pid).state, ProcState::Exited(0)),
+            "{:?} failed",
+            k.procs().must(pid).program.name()
+        );
+    }
+
+    assert_eq!(k.verify_pattern_file("/d1/a", 2 * MB, 1), None);
+    assert_eq!(k.verify_pattern_file("/d0/c", MB, 3), None);
+    assert_eq!(k.verify_pattern_file("/ram/b", MB + 4097, 2), None);
+    assert_eq!(k.verify_pattern_file("/d1/c", MB, 3), None);
+    // The writer flushes via fsync, so its file is fully durable too.
+    assert_eq!(k.verify_pattern_file("/d1/w", MB, 9), None);
+
+    let errors = k.fsck_all();
+    assert!(errors.is_empty(), "{errors:?}");
+    k.cache().check_invariants();
+}
+
+#[test]
+fn repeated_mixed_copies_do_not_leak_buffers_or_blocks() {
+    let mut k = KernelBuilder::paper_machine(DiskProfile::ramdisk()).build();
+    k.setup_file("/d0/src", MB, 4);
+    k.cold_cache();
+    let free_before = k.disks()[1].fs.free_blocks();
+    for round in 0..5 {
+        let scp = k.spawn(Box::new(Scp::new("/d0/src", "/d1/dst")));
+        let cp = k.spawn(Box::new(Cp::new("/d0/src", "/d1/dst2")));
+        let horizon = k.horizon(600);
+        k.run_to_exit(horizon);
+        assert!(matches!(k.procs().must(scp).state, ProcState::Exited(0)));
+        assert!(matches!(k.procs().must(cp).state, ProcState::Exited(0)));
+        assert_eq!(
+            k.verify_pattern_file("/d1/dst", MB, 4),
+            None,
+            "round {round}"
+        );
+        k.cache().check_invariants();
+    }
+    // Steady state: the same blocks get reused copy after copy.
+    let used = free_before - k.disks()[1].fs.free_blocks();
+    let expect = 2 * (MB / 8192) + 4; // two files + slack for spine blocks
+    assert!(
+        used <= expect,
+        "block leak: {used} blocks used for two 1 MB files"
+    );
+    assert!(k.fsck_all().is_empty());
+}
