@@ -3,12 +3,16 @@
 //! The per-block costs (system calls for CP, handler chains for SCP) are
 //! fixed, so larger blocks amortise them; the paper's 8 KB FFS block is
 //! the middle of the sweep.
+//!
+//! Writes `BENCH_ablate_blocksize.json` with each run's metrics snapshot.
 
-use bench::{print_table, throughput, DiskRow, Experiment, Method};
+use bench::{print_table, throughput, write_bench_json, DiskRow, Experiment, Method};
+use ksim::Json;
 
 fn main() {
     println!("Ablation — filesystem block size (RAM disk, KB/s)");
     let mut rows = Vec::new();
+    let mut runs = Vec::new();
     for bs in [4096u32, 8192, 16384] {
         let mut exp = Experiment::paper(DiskRow::Ram);
         exp.file_bytes = 4 * 1024 * 1024; // keep the sweep fast
@@ -21,6 +25,17 @@ fn main() {
             format!("{:.0}", cp.kb_per_s),
             format!("{:+.0}%", (scp.kb_per_s / cp.kb_per_s - 1.0) * 100.0),
         ]);
+        runs.push(
+            Json::obj()
+                .with("block_size", Json::Num(f64::from(bs)))
+                .with("scp", scp.to_json())
+                .with("cp", cp.to_json()),
+        );
     }
     print_table(&["Block", "SCP", "CP", "%Improve"], &rows);
+
+    let doc = Json::obj()
+        .with("table", Json::Str("ablate_blocksize".into()))
+        .with("runs", Json::Arr(runs));
+    write_bench_json("BENCH_ablate_blocksize.json", &doc);
 }

@@ -5,12 +5,19 @@
 //! DECstations ran HZ = 256; this sweep shows how tick granularity moves
 //! splice throughput and availability while leaving `cp` (which never
 //! touches the callout list) alone.
+//!
+//! Writes `BENCH_ablate_hz.json` with each run's metrics snapshot.
 
-use bench::{availability, idle_baseline, print_table, throughput, DiskRow, Experiment, Method};
+use bench::{
+    availability, idle_baseline, print_table, throughput, write_bench_json, DiskRow, Experiment,
+    Method,
+};
+use ksim::Json;
 
 fn main() {
     println!("Ablation — clock frequency (RAM disk)");
     let mut rows = Vec::new();
+    let mut runs = Vec::new();
     for hz in [64u64, 128, 256, 512, 1024] {
         let mut exp = Experiment::paper(DiskRow::Ram);
         exp.file_bytes = 4 * 1024 * 1024;
@@ -28,8 +35,20 @@ fn main() {
             format!("{:.0}", cp.kb_per_s),
             format!("{:.0}%", avail.speed_fraction * 100.0),
         ]);
+        runs.push(
+            Json::obj()
+                .with("hz", Json::Num(hz as f64))
+                .with("scp", scp.to_json())
+                .with("cp", cp.to_json())
+                .with("scp_availability", avail.to_json()),
+        );
     }
     print_table(&["HZ", "SCP KB/s", "CP KB/s", "test@SCP"], &rows);
     println!();
     println!("Ultrix on the DECstation ran HZ = 256 (the middle row).");
+
+    let doc = Json::obj()
+        .with("table", Json::Str("ablate_hz".into()))
+        .with("runs", Json::Arr(runs));
+    write_bench_json("BENCH_ablate_hz.json", &doc);
 }

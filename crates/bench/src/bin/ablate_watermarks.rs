@@ -6,13 +6,19 @@
 //! varies the read-refill batch and the watermarks and reports SCP
 //! throughput on RAM and RZ58 — showing where pipelining stops helping
 //! (depth 1 serialises; large depths stop paying once devices saturate).
+//!
+//! Writes `BENCH_ablate_watermarks.json` with each run's metrics
+//! snapshot; the span gauges (`max_pending_reads`/`max_pending_writes`)
+//! make the configured depths directly visible.
 
-use bench::{print_table, throughput, DiskRow, Experiment, Method};
+use bench::{print_table, throughput, write_bench_json, DiskRow, Experiment, Method};
+use ksim::Json;
 use splice::FlowControl;
 
 fn main() {
     println!("Ablation — splice flow-control watermarks (SCP KB/s)");
     let mut rows = Vec::new();
+    let mut runs = Vec::new();
     for (lo_r, lo_w, batch) in [
         (1, 1, 1),
         (1, 2, 2),
@@ -30,10 +36,23 @@ fn main() {
             };
             let r = throughput(&exp, Method::Scp);
             row.push(format!("{:.0}", r.kb_per_s));
+            runs.push(
+                Json::obj()
+                    .with("disk", Json::Str(disk.label().into()))
+                    .with("lo_reads", Json::Num(f64::from(lo_r)))
+                    .with("lo_writes", Json::Num(f64::from(lo_w)))
+                    .with("batch", Json::Num(f64::from(batch)))
+                    .with("scp", r.to_json()),
+            );
         }
         rows.push(row);
     }
     print_table(&["lo_r/lo_w/batch", "RAM", "RZ58"], &rows);
     println!();
     println!("paper setting is 3/5/5; depth 1 serialises the pipeline");
+
+    let doc = Json::obj()
+        .with("table", Json::Str("ablate_watermarks".into()))
+        .with("runs", Json::Arr(runs));
+    write_bench_json("BENCH_ablate_watermarks.json", &doc);
 }

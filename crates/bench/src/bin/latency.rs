@@ -24,7 +24,7 @@ fn main() {
     let mut rows = Vec::new();
     for disk in DiskRow::all() {
         let k = run(disk, Method::Cp);
-        let h = k.read_latency();
+        let h = &k.kstat().read_wait;
         rows.push(vec![
             format!("{} CP read-wait", disk.label()),
             format!("{}", h.count()),
@@ -34,7 +34,7 @@ fn main() {
             fmt_us(h.max()),
         ]);
         let k = run(disk, Method::Scp);
-        let h = k.splice_block_latency();
+        let h = &k.kstat().splice_block_latency;
         rows.push(vec![
             format!("{} SCP block", disk.label()),
             format!("{}", h.count()),

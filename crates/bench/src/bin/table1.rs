@@ -3,23 +3,28 @@
 //! Paper values: the test program runs at 50 % of idle speed under CP on
 //! the RAM disk (60 % on RZ56/RZ58), and at 80 % under SCP on RAM/RZ58
 //! (70 % on RZ56) — a 20–70 % execution-speed improvement.
+//!
+//! Besides the table on stdout, writes `BENCH_table1.json` with the full
+//! [`splice::MetricsSnapshot`] of each environment so the numbers are
+//! machine-checkable across revisions.
 
-use bench::{print_table, table1_row, DiskRow};
+use bench::{print_table, table1_row, write_bench_json, DiskRow};
+use ksim::Json;
 
 fn main() {
     println!("Table 1 — CPU Availability Factors (copying 8 MB file)");
-    let rows: Vec<Vec<String>> = DiskRow::all()
-        .into_iter()
-        .map(|d| {
-            let r = table1_row(d);
+    let results: Vec<_> = DiskRow::all().into_iter().map(table1_row).collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
             vec![
-                d.label().to_string(),
-                format!("{:.2}", r.f_cp),
-                format!("{:.2}", r.f_scp),
+                r.disk.label().to_string(),
+                format!("{:.2}", r.cp.slowdown),
+                format!("{:.2}", r.scp.slowdown),
                 format!("{:.2}", r.improvement),
                 format!("{:.0}%", r.pct),
-                format!("{:.0}%", 100.0 / r.f_cp),
-                format!("{:.0}%", 100.0 / r.f_scp),
+                format!("{:.0}%", 100.0 * r.cp.speed_fraction),
+                format!("{:.0}%", 100.0 * r.scp.speed_fraction),
             ]
         })
         .collect();
@@ -33,4 +38,13 @@ fn main() {
     println!("paper:  RAM   2.00 1.25  (test at 50% / 80%)");
     println!("paper:  RZ56  1.67 1.43  (test at 60% / 70%)");
     println!("paper:  RZ58  1.67 1.25  (test at 60% / 80%)");
+
+    let doc = Json::obj()
+        .with("table", Json::Str("table1".into()))
+        .with("file_bytes", Json::Num((8u64 * 1024 * 1024) as f64))
+        .with(
+            "rows",
+            Json::Arr(results.iter().map(|r| r.to_json()).collect()),
+        );
+    write_bench_json("BENCH_table1.json", &doc);
 }

@@ -2,19 +2,25 @@
 //!
 //! Paper values: RAM — SCP 3343 KB/s vs CP 1884 KB/s (+77 %); real disks —
 //! media-dominated, "the benefit of splice is minor".
+//!
+//! Besides the table on stdout, writes `BENCH_table2.json` with the full
+//! [`splice::MetricsSnapshot`] of each run (per-splice span summaries,
+//! copy counters, latency digests) so the perf trajectory is
+//! machine-checkable across revisions.
 
-use bench::{print_table, table2_row, DiskRow};
+use bench::{print_table, table2_row, write_bench_json, DiskRow};
+use ksim::Json;
 
 fn main() {
     println!("Table 2 — Mean Throughput Measurements (copying 8 MB file)");
-    let rows: Vec<Vec<String>> = DiskRow::all()
-        .into_iter()
-        .map(|d| {
-            let r = table2_row(d);
+    let results: Vec<_> = DiskRow::all().into_iter().map(table2_row).collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
             vec![
-                d.label().to_string(),
-                format!("{:.0}", r.scp_kbs),
-                format!("{:.0}", r.cp_kbs),
+                r.disk.label().to_string(),
+                format!("{:.0}", r.scp.kb_per_s),
+                format!("{:.0}", r.cp.kb_per_s),
                 format!("{:+.0}%", r.pct),
             ]
         })
@@ -23,4 +29,13 @@ fn main() {
     println!();
     println!("paper:  RAM   3343 vs 1884  (+77%)");
     println!("paper:  RZ56/RZ58: media-dominated, minor improvement");
+
+    let doc = Json::obj()
+        .with("table", Json::Str("table2".into()))
+        .with("file_bytes", Json::Num((8u64 * 1024 * 1024) as f64))
+        .with(
+            "rows",
+            Json::Arr(results.iter().map(|r| r.to_json()).collect()),
+        );
+    write_bench_json("BENCH_table2.json", &doc);
 }

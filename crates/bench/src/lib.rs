@@ -21,9 +21,9 @@
 use khw::DiskProfile;
 use kproc::programs::{Cp, CpuBound, Scp, ScpMode};
 use kproc::{Pid, ProcState, Program};
-use ksim::Dur;
+use ksim::{Dur, Json};
 use splice::baselines::{HandleCopy, MmapCopy};
-use splice::{Kernel, KernelBuilder, KernelConfig};
+use splice::{Kernel, KernelBuilder, KernelConfig, MetricsSnapshot};
 
 /// Which copy mechanism an experiment exercises.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -161,12 +161,36 @@ impl Experiment {
 }
 
 /// Outcome of one throughput run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ThroughputResult {
     /// KB/s over the copy (KB = 1024 bytes, as in the paper).
     pub kb_per_s: f64,
     /// Elapsed simulated seconds.
     pub elapsed_s: f64,
+    /// Kernel metrics at the end of the run (data verified, fsck clean).
+    pub snapshot: MetricsSnapshot,
+}
+
+impl ThroughputResult {
+    /// JSON form: the throughput numbers plus the full snapshot.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("kb_per_s", Json::Num(self.kb_per_s))
+            .with("elapsed_s", Json::Num(self.elapsed_s))
+            .with("metrics", self.snapshot.to_json())
+    }
+}
+
+/// Serializes `doc` to `path` — the machine-checkable `BENCH_*.json`
+/// artifacts the table and ablation binaries leave behind.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_bench_json(path: &str, doc: &Json) {
+    std::fs::write(path, doc.render_pretty())
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
 }
 
 /// Measures copy throughput on an otherwise idle machine (§6.3).
@@ -196,17 +220,10 @@ pub fn throughput(exp: &Experiment, method: Method) -> ThroughputResult {
     );
     let errors = k.fsck_all();
     assert!(errors.is_empty(), "fsck after {}: {errors:?}", method.label());
+    let snapshot = k.metrics();
     if std::env::var("BENCH_STATS").is_ok() {
-        println!("--- kernel stats after {} on {} ---", method.label(), exp.disk.label());
-        for (key, v) in k.stats().counters() {
-            println!("  {key} = {v}");
-        }
-        for (key, v) in k.cpu_stats().counters() {
-            println!("  {key} = {v}");
-        }
-        for (key, v) in k.cpu_stats().durations() {
-            println!("  {key} = {v}");
-        }
+        println!("--- metrics after {} on {} ---", method.label(), exp.disk.label());
+        println!("{}", snapshot.to_json().render_pretty());
         for d in k.disks() {
             if let splice::DiskUnitKind::Scsi(disk) = &d.kind {
                 println!("  disk {}: {:?}", d.name, disk.stats());
@@ -218,11 +235,12 @@ pub fn throughput(exp: &Experiment, method: Method) -> ThroughputResult {
     ThroughputResult {
         kb_per_s: exp.file_bytes as f64 / 1024.0 / elapsed,
         elapsed_s: elapsed,
+        snapshot,
     }
 }
 
 /// Outcome of the availability procedure for one environment.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct AvailabilityResult {
     /// Slowdown factor `F = T_env / T_idle`.
     pub slowdown: f64,
@@ -230,6 +248,19 @@ pub struct AvailabilityResult {
     pub speed_fraction: f64,
     /// Elapsed seconds for the fixed operation set.
     pub elapsed_s: f64,
+    /// Kernel metrics when the test program exited.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl AvailabilityResult {
+    /// JSON form: the availability numbers plus the full snapshot.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("slowdown", Json::Num(self.slowdown))
+            .with("speed_fraction", Json::Num(self.speed_fraction))
+            .with("elapsed_s", Json::Num(self.elapsed_s))
+            .with("metrics", self.snapshot.to_json())
+    }
 }
 
 /// The test program's fixed workload: 8 s of user CPU in 1 ms operations.
@@ -263,6 +294,7 @@ pub fn availability(exp: &Experiment, method: Method, idle_elapsed: f64) -> Avai
     // Enough passes to outlast the test program in any environment.
     let copier = exp.copier(method, 10_000);
     let (_, elapsed) = run_test_program(&mut k, Some(copier));
+    let snapshot = k.metrics();
     if std::env::var("BENCH_STATS").is_ok() {
         println!("--- availability diagnostics: {} on {} ---", method.label(), exp.disk.label());
         for p in k.procs().iter() {
@@ -278,34 +310,44 @@ pub fn availability(exp: &Experiment, method: Method, idle_elapsed: f64) -> Avai
                 p.acct.syscalls
             );
         }
-        for (key, v) in k.stats().counters() {
-            println!("  {key} = {v}");
-        }
-        for (key, v) in k.cpu_stats().durations() {
-            println!("  {key} = {v}");
-        }
+        println!("{}", snapshot.to_json().render_pretty());
     }
     let slowdown = elapsed / idle_elapsed;
     AvailabilityResult {
         slowdown,
         speed_fraction: 1.0 / slowdown,
         elapsed_s: elapsed,
+        snapshot,
     }
 }
 
 /// One row of Table 1.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Table1Row {
     /// Disk row.
     pub disk: DiskRow,
-    /// F_cp: test-program slowdown in the CP environment.
-    pub f_cp: f64,
-    /// F_scp: slowdown in the SCP environment.
-    pub f_scp: f64,
+    /// The CP environment (F_cp is `cp.slowdown`).
+    pub cp: AvailabilityResult,
+    /// The SCP environment (F_scp is `scp.slowdown`).
+    pub scp: AvailabilityResult,
     /// Improvement factor F_cp / F_scp.
     pub improvement: f64,
     /// Percentage execution-speed improvement, (F_cp/F_scp − 1) × 100.
     pub pct: f64,
+}
+
+impl Table1Row {
+    /// JSON form, including both environments' metrics snapshots.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("disk", Json::Str(self.disk.label().into()))
+            .with("f_cp", Json::Num(self.cp.slowdown))
+            .with("f_scp", Json::Num(self.scp.slowdown))
+            .with("improvement", Json::Num(self.improvement))
+            .with("pct", Json::Num(self.pct))
+            .with("cp", self.cp.to_json())
+            .with("scp", self.scp.to_json())
+    }
 }
 
 /// Reproduces one row of Table 1.
@@ -317,24 +359,37 @@ pub fn table1_row(disk: DiskRow) -> Table1Row {
     let improvement = cp.slowdown / scp.slowdown;
     Table1Row {
         disk,
-        f_cp: cp.slowdown,
-        f_scp: scp.slowdown,
         improvement,
         pct: (improvement - 1.0) * 100.0,
+        cp,
+        scp,
     }
 }
 
 /// One row of Table 2.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Table2Row {
     /// Disk row.
     pub disk: DiskRow,
-    /// SCP throughput, KB/s.
-    pub scp_kbs: f64,
-    /// CP throughput, KB/s.
-    pub cp_kbs: f64,
+    /// The SCP run (throughput is `scp.kb_per_s`).
+    pub scp: ThroughputResult,
+    /// The CP run (throughput is `cp.kb_per_s`).
+    pub cp: ThroughputResult,
     /// Percentage improvement of SCP over CP.
     pub pct: f64,
+}
+
+impl Table2Row {
+    /// JSON form, including both runs' metrics snapshots.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("disk", Json::Str(self.disk.label().into()))
+            .with("scp_kb_per_s", Json::Num(self.scp.kb_per_s))
+            .with("cp_kb_per_s", Json::Num(self.cp.kb_per_s))
+            .with("pct", Json::Num(self.pct))
+            .with("scp", self.scp.to_json())
+            .with("cp", self.cp.to_json())
+    }
 }
 
 /// Reproduces one row of Table 2.
@@ -342,12 +397,8 @@ pub fn table2_row(disk: DiskRow) -> Table2Row {
     let exp = Experiment::paper(disk);
     let scp = throughput(&exp, Method::Scp);
     let cp = throughput(&exp, Method::Cp);
-    Table2Row {
-        disk,
-        scp_kbs: scp.kb_per_s,
-        cp_kbs: cp.kb_per_s,
-        pct: (scp.kb_per_s / cp.kb_per_s - 1.0) * 100.0,
-    }
+    let pct = (scp.kb_per_s / cp.kb_per_s - 1.0) * 100.0;
+    Table2Row { disk, scp, cp, pct }
 }
 
 /// Renders a markdown-ish table to stdout.

@@ -89,10 +89,11 @@ impl KernelBuilder {
             .disk("d1", profile)
     }
 
-    /// [`KernelBuilder::paper_machine`] with RAM disks, built — the most
-    /// common test fixture.
-    pub fn paper_machine_ram() -> Kernel {
-        Self::paper_machine(DiskProfile::ramdisk()).build()
+    /// [`KernelBuilder::paper_machine`] with RAM disks — the most common
+    /// test fixture. Returns the builder (like every other constructor
+    /// here); call `.build()` to get the kernel.
+    pub fn paper_machine_ram() -> KernelBuilder {
+        Self::paper_machine(DiskProfile::ramdisk())
     }
 }
 

@@ -112,10 +112,12 @@ pub struct Kernel {
     pub(crate) handles: HashMap<i64, Vec<u8>>,
     pub(crate) next_handle: i64,
     pub(crate) stats: Stats,
-    /// Latency of synchronous block reads (biowait sleeps), ns.
-    pub(crate) read_latency: ksim::Hist,
-    /// Wall time from splice read issue to block completion, ns.
-    pub(crate) splice_block_latency: ksim::Hist,
+    /// Structured statistics: splice spans plus latency histograms
+    /// (exposed through [`Kernel::kstat`] and [`Kernel::metrics`]).
+    pub(crate) kstat: ksim::Kstat,
+    /// Issue times of in-flight buffer transfers, for the bread/bwrite
+    /// completion histograms.
+    pub(crate) io_issued: HashMap<BufId, SimTime>,
     pub(crate) trace: Trace,
 }
 
@@ -154,8 +156,8 @@ impl Kernel {
             handles: HashMap::new(),
             next_handle: 1,
             stats: Stats::new(),
-            read_latency: ksim::Hist::new(),
-            splice_block_latency: ksim::Hist::new(),
+            kstat: ksim::Kstat::new(),
+            io_issued: HashMap::new(),
             trace: Trace::new(400_000),
         };
         // Boot the clock and the update daemon.
@@ -206,26 +208,6 @@ impl Kernel {
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.q.now()
-    }
-
-    /// Kernel-wide counters.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
-    }
-
-    /// CPU engine counters (kernel time by class).
-    pub fn cpu_stats(&self) -> &Stats {
-        self.cpu.stats()
-    }
-
-    /// Latency histogram of synchronous block reads (ns samples).
-    pub fn read_latency(&self) -> &ksim::Hist {
-        &self.read_latency
-    }
-
-    /// Latency histogram of splice block round-trips (ns samples).
-    pub fn splice_block_latency(&self) -> &ksim::Hist {
-        &self.splice_block_latency
     }
 
     /// The process table (accounting reads).
@@ -464,6 +446,7 @@ impl Kernel {
     ) -> Dur {
         let disk_idx = *self.devmap.get(&dev).expect("I/O to unknown device");
         let now = self.q.now();
+        self.io_issued.insert(buf, now);
         let sector = blkno * (self.cfg.block_size as u64 / khw::SECTOR_SIZE as u64);
         if dir == IoDir::Write {
             self.disks[disk_idx].write_inflight += 1;
@@ -535,6 +518,13 @@ impl Kernel {
     /// Completion bookkeeping common to all devices: inflight counts,
     /// fsync wakeups, `biodone` and handler dispatch.
     pub(crate) fn finish_io(&mut self, disk_idx: usize, buf: BufId, dir: IoDir) {
+        if let Some(at) = self.io_issued.remove(&buf) {
+            let lat = self.q.now().since(at).as_ns();
+            match dir {
+                IoDir::Read => self.kstat.bread_latency.record(lat),
+                IoDir::Write => self.kstat.bwrite_latency.record(lat),
+            }
+        }
         if dir == IoDir::Write {
             let d = &mut self.disks[disk_idx];
             d.write_inflight -= 1;

@@ -50,19 +50,29 @@
 //!
 //! assert_eq!(k.verify_pattern_file("/d1/copy", 64 * 1024, 7), None);
 //! // The point of the paper: no user-space copies happened.
-//! assert_eq!(k.stats().get("copy.copyout_bytes"), 0);
-//! assert_eq!(k.stats().get("copy.copyin_bytes"), 0);
+//! let m = k.metrics();
+//! assert_eq!(m.copy.copyout_bytes, 0);
+//! assert_eq!(m.copy.copyin_bytes, 0);
 //! ```
+//!
+//! Every measurement the kernel takes is reachable through that typed
+//! [`metrics::MetricsSnapshot`] (and the live [`ksim::Kstat`] block via
+//! [`Kernel::kstat`]); see `DESIGN.md` § Observability.
 
 pub mod baselines;
 pub mod event;
 pub mod harness;
 pub mod kernel;
+pub mod metrics;
 pub mod objects;
 pub mod splice_engine;
 pub mod syscalls;
 
 pub use harness::KernelBuilder;
 pub use kernel::{Kernel, KernelConfig};
+pub use metrics::{
+    CacheMetrics, CopyMetrics, CpuMetrics, IoMetrics, LatencyMetrics, MetricsSnapshot, NetMetrics,
+    SchedMetrics, SpliceMetrics,
+};
 pub use objects::{DiskUnitKind, FileId, FileObj};
 pub use splice_engine::FlowControl;

@@ -1,0 +1,453 @@
+//! The typed metrics surface: [`MetricsSnapshot`] and its sub-structs.
+//!
+//! Historically the kernel exposed its raw [`ksim::Stats`] counter bag
+//! (`kernel.stats().get("copy.copyout_bytes")`) — stringly-typed, easy
+//! to typo, and invisible to the compiler when a counter was renamed.
+//! The counter bag still exists internally (it is the cheapest possible
+//! emission path for the hot code), but the public surface is now
+//! [`Kernel::metrics`], which folds the counters, the structured
+//! [`ksim::Kstat`] block (splice spans, latency histograms), the buffer
+//! cache, the CPU engine, and the network stack into one typed,
+//! self-describing snapshot:
+//!
+//! ```
+//! use khw::DiskProfile;
+//! use kproc::programs::Scp;
+//! use splice::KernelBuilder;
+//!
+//! let mut k = KernelBuilder::new()
+//!     .disk("d0", DiskProfile::ramdisk())
+//!     .disk("d1", DiskProfile::ramdisk())
+//!     .build();
+//! k.setup_file("/d0/data", 16 * 1024, 7);
+//! k.spawn(Box::new(Scp::new("/d0/data", "/d1/copy")));
+//! let horizon = k.horizon(60);
+//! k.run_to_exit(horizon);
+//!
+//! let m = k.metrics();
+//! assert_eq!(m.copy.copyout_bytes, 0); // the point of the paper
+//! assert_eq!(m.splice.completed, 1);
+//! assert!(m.splice[1].writes_issued > 0); // per-descriptor span
+//! ```
+//!
+//! Snapshots serialize to JSON ([`MetricsSnapshot::to_json`]) with the
+//! dependency-free [`ksim::Json`] writer; the bench binaries persist
+//! them as `BENCH_*.json`.
+
+use std::ops::Index;
+
+use ksim::{Dur, HistSummary, Json, SimTime, SpliceSpan, SpliceSpans};
+
+use crate::kernel::Kernel;
+
+/// Bytes moved by each copy path (the paper's central accounting:
+/// splice exists to drive the first two to zero).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CopyMetrics {
+    /// `copyin` traffic: user → kernel (write(2), send(2)).
+    pub copyin_bytes: u64,
+    /// `copyout` traffic: kernel → user (read(2), recv(2)).
+    pub copyout_bytes: u64,
+    /// Driver/pseudo-DMA traffic at the device boundary.
+    pub driver_bytes: u64,
+    /// Cache-to-cache copies (zero when the shared-header path works).
+    pub cache_bytes: u64,
+    /// Socket-buffer copies on the network path.
+    pub net_bytes: u64,
+}
+
+/// Block-I/O volume at the device layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoMetrics {
+    /// Bytes read from block devices.
+    pub read_bytes: u64,
+    /// Bytes written to block devices.
+    pub write_bytes: u64,
+    /// Sequential read-aheads triggered by `read(2)`.
+    pub readaheads: u64,
+}
+
+/// Buffer-cache behavior (kbuf's own counters plus the kernel's
+/// truncation bookkeeping).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// `bread` served from cache.
+    pub hits: u64,
+    /// `bread` that went to the device.
+    pub misses: u64,
+    /// Delayed-write buffers flushed to reclaim space.
+    pub reclaim_flushes: u64,
+    /// Read-ahead transfers started by the cache.
+    pub readaheads: u64,
+    /// Valid blocks evicted to recycle their buffer.
+    pub evictions: u64,
+    /// `biodone` completions routed to `B_CALL` handlers.
+    pub bcall_completions: u64,
+    /// Cached blocks purged by truncation.
+    pub trunc_purged: u64,
+    /// Busy blocks detached (orphaned) by truncation.
+    pub trunc_detached: u64,
+}
+
+/// The splice engine: totals plus per-descriptor lifecycle spans.
+///
+/// Indexable by descriptor id — `snapshot.splice[desc].reads_issued` —
+/// matching how tests reason about a single transfer.
+#[derive(Clone, Debug, Default)]
+pub struct SpliceMetrics {
+    /// Descriptors created.
+    pub started: u64,
+    /// Transfers completed (SIGIO posted or sleeper woken).
+    pub completed: u64,
+    /// Device reads issued across all splices.
+    pub reads_issued: u64,
+    /// Reads satisfied from the buffer cache.
+    pub read_hits: u64,
+    /// Read-side retries after a busy buffer or cache exhaustion.
+    pub read_backoffs: u64,
+    /// Shared-header writes (the §5.2.2 no-copy write side).
+    pub shared_writes: u64,
+    /// Write-side retries (destination block busy).
+    pub write_backoffs: u64,
+    /// Device-sink pacing stalls (DAC back-pressure).
+    pub dev_backpressure: u64,
+    /// Socket-sink send failures.
+    pub sock_send_errs: u64,
+    /// Append-path retries on transient cache shortage.
+    pub append_backoffs: u64,
+    /// Append-path bytes dropped for lack of disk space.
+    pub append_enospc: u64,
+    /// Per-descriptor lifecycle spans (timestamps, gauges, samples).
+    pub spans: SpliceSpans,
+}
+
+impl Index<u64> for SpliceMetrics {
+    type Output = SpliceSpan;
+    fn index(&self, desc: u64) -> &SpliceSpan {
+        &self.spans[desc]
+    }
+}
+
+/// Scheduler events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedMetrics {
+    /// Context-switch dispatches.
+    pub ctx_switches: u64,
+    /// Wakeup preemptions of user-mode chunks.
+    pub preemptions: u64,
+    /// Lost-wakeup races closed by the retry path.
+    pub wakeup_races: u64,
+    /// Dispatches that found the CPU re-occupied.
+    pub dispatch_races: u64,
+    /// Processes that exited.
+    pub exits: u64,
+}
+
+/// Kernel CPU time by work class (the availability accounting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpuMetrics {
+    /// Interrupt-class kernel time.
+    pub intr_time: Dur,
+    /// Softclock-class kernel time run within tick budgets.
+    pub soft_time: Dur,
+    /// Softclock-class kernel time run in idle cycles.
+    pub idle_soft_time: Dur,
+    /// Interrupt-class work items admitted.
+    pub intr_items: u64,
+    /// Soft-class work items admitted within budget.
+    pub soft_items: u64,
+    /// Soft-class work items pushed past their tick budget.
+    pub soft_deferred: u64,
+    /// Soft-class work items run during idle.
+    pub idle_soft_items: u64,
+}
+
+/// Network stack counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetMetrics {
+    /// Datagrams sent.
+    pub sent: u64,
+    /// Datagrams delivered to a socket.
+    pub delivered: u64,
+    /// Datagrams dropped in the network.
+    pub dropped: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Datagrams dropped at a full receive queue.
+    pub rx_dropped: u64,
+}
+
+/// Latency distributions (ns), as compact digests.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyMetrics {
+    /// Time a process slept in `biowait` on the read(2) path.
+    pub read_wait: HistSummary,
+    /// `bread` issue → `biodone`.
+    pub bread: HistSummary,
+    /// `bwrite` issue → `biodone`.
+    pub bwrite: HistSummary,
+    /// Splice block round-trip: read issue → write completion.
+    pub splice_block: HistSummary,
+}
+
+/// One coherent, typed view of everything the kernel measured.
+///
+/// Built by [`Kernel::metrics`]; cheap enough to take repeatedly (the
+/// spans are cloned, everything else is `Copy`).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Simulated time the snapshot was taken.
+    pub at: SimTime,
+    /// Copy-path bytes.
+    pub copy: CopyMetrics,
+    /// Device I/O volume.
+    pub io: IoMetrics,
+    /// Buffer-cache behavior.
+    pub cache: CacheMetrics,
+    /// Splice engine totals and spans.
+    pub splice: SpliceMetrics,
+    /// Scheduler events.
+    pub sched: SchedMetrics,
+    /// Kernel CPU time by class.
+    pub cpu: CpuMetrics,
+    /// Network counters.
+    pub net: NetMetrics,
+    /// Latency digests.
+    pub latency: LatencyMetrics,
+    /// Buffers flushed by the `update` daemon.
+    pub update_flushes: u64,
+    /// Harness cold-cache flushes (experiment setup, not workload).
+    pub cold_caches: u64,
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot (including per-splice span summaries,
+    /// excluding raw flow samples) as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let c = &self.copy;
+        let copy = Json::obj()
+            .with("copyin_bytes", Json::Num(c.copyin_bytes as f64))
+            .with("copyout_bytes", Json::Num(c.copyout_bytes as f64))
+            .with("driver_bytes", Json::Num(c.driver_bytes as f64))
+            .with("cache_bytes", Json::Num(c.cache_bytes as f64))
+            .with("net_bytes", Json::Num(c.net_bytes as f64));
+        let io = Json::obj()
+            .with("read_bytes", Json::Num(self.io.read_bytes as f64))
+            .with("write_bytes", Json::Num(self.io.write_bytes as f64))
+            .with("readaheads", Json::Num(self.io.readaheads as f64));
+        let ca = &self.cache;
+        let cache = Json::obj()
+            .with("hits", Json::Num(ca.hits as f64))
+            .with("misses", Json::Num(ca.misses as f64))
+            .with("reclaim_flushes", Json::Num(ca.reclaim_flushes as f64))
+            .with("readaheads", Json::Num(ca.readaheads as f64))
+            .with("evictions", Json::Num(ca.evictions as f64))
+            .with("bcall_completions", Json::Num(ca.bcall_completions as f64))
+            .with("trunc_purged", Json::Num(ca.trunc_purged as f64))
+            .with("trunc_detached", Json::Num(ca.trunc_detached as f64));
+        let s = &self.splice;
+        let splice = Json::obj()
+            .with("started", Json::Num(s.started as f64))
+            .with("completed", Json::Num(s.completed as f64))
+            .with("reads_issued", Json::Num(s.reads_issued as f64))
+            .with("read_hits", Json::Num(s.read_hits as f64))
+            .with("read_backoffs", Json::Num(s.read_backoffs as f64))
+            .with("shared_writes", Json::Num(s.shared_writes as f64))
+            .with("write_backoffs", Json::Num(s.write_backoffs as f64))
+            .with("dev_backpressure", Json::Num(s.dev_backpressure as f64))
+            .with("sock_send_errs", Json::Num(s.sock_send_errs as f64))
+            .with("append_backoffs", Json::Num(s.append_backoffs as f64))
+            .with("append_enospc", Json::Num(s.append_enospc as f64))
+            .with(
+                "spans",
+                Json::Arr(s.spans.iter().map(span_json).collect()),
+            );
+        let sc = &self.sched;
+        let sched = Json::obj()
+            .with("ctx_switches", Json::Num(sc.ctx_switches as f64))
+            .with("preemptions", Json::Num(sc.preemptions as f64))
+            .with("wakeup_races", Json::Num(sc.wakeup_races as f64))
+            .with("dispatch_races", Json::Num(sc.dispatch_races as f64))
+            .with("exits", Json::Num(sc.exits as f64));
+        let cp = &self.cpu;
+        let cpu = Json::obj()
+            .with("intr_ns", Json::Num(cp.intr_time.as_ns() as f64))
+            .with("soft_ns", Json::Num(cp.soft_time.as_ns() as f64))
+            .with("idle_soft_ns", Json::Num(cp.idle_soft_time.as_ns() as f64))
+            .with("intr_items", Json::Num(cp.intr_items as f64))
+            .with("soft_items", Json::Num(cp.soft_items as f64))
+            .with("soft_deferred", Json::Num(cp.soft_deferred as f64))
+            .with("idle_soft_items", Json::Num(cp.idle_soft_items as f64));
+        let n = &self.net;
+        let net = Json::obj()
+            .with("sent", Json::Num(n.sent as f64))
+            .with("delivered", Json::Num(n.delivered as f64))
+            .with("dropped", Json::Num(n.dropped as f64))
+            .with("bytes_delivered", Json::Num(n.bytes_delivered as f64))
+            .with("rx_dropped", Json::Num(n.rx_dropped as f64));
+        let latency = Json::obj()
+            .with("read_wait", hist_json(&self.latency.read_wait))
+            .with("bread", hist_json(&self.latency.bread))
+            .with("bwrite", hist_json(&self.latency.bwrite))
+            .with("splice_block", hist_json(&self.latency.splice_block));
+        Json::obj()
+            .with("at_ns", Json::Num(self.at.as_ns() as f64))
+            .with("copy", copy)
+            .with("io", io)
+            .with("cache", cache)
+            .with("splice", splice)
+            .with("sched", sched)
+            .with("cpu", cpu)
+            .with("net", net)
+            .with("latency", latency)
+            .with("update_flushes", Json::Num(self.update_flushes as f64))
+            .with("cold_caches", Json::Num(self.cold_caches as f64))
+    }
+}
+
+fn opt_time(t: Option<SimTime>) -> Json {
+    match t {
+        Some(t) => Json::Num(t.as_ns() as f64),
+        None => Json::Null,
+    }
+}
+
+fn span_json(s: &SpliceSpan) -> Json {
+    Json::obj()
+        .with("id", Json::Num(s.id as f64))
+        .with("created_ns", opt_time(s.created))
+        .with("first_read_ns", opt_time(s.first_read))
+        .with("first_write_ns", opt_time(s.first_write))
+        .with("drained_ns", opt_time(s.drained))
+        .with("completed_ns", opt_time(s.completed))
+        .with("reads_issued", Json::Num(s.reads_issued as f64))
+        .with("read_hits", Json::Num(s.read_hits as f64))
+        .with("writes_issued", Json::Num(s.writes_issued as f64))
+        .with("blocks_done", Json::Num(s.blocks_done as f64))
+        .with("bytes_moved", Json::Num(s.bytes_moved as f64))
+        .with("refill_bursts", Json::Num(s.refill_bursts as f64))
+        .with("backoffs", Json::Num(s.backoffs as f64))
+        .with("max_pending_reads", Json::Num(s.max_pending_reads as f64))
+        .with("max_pending_writes", Json::Num(s.max_pending_writes as f64))
+        .with("flow_samples", Json::Num(s.samples.len() as f64))
+        .with("samples_truncated", Json::Bool(s.samples_truncated))
+}
+
+fn hist_json(h: &HistSummary) -> Json {
+    Json::obj()
+        .with("count", Json::Num(h.count as f64))
+        .with("min", Json::Num(h.min as f64))
+        .with("mean", Json::Num(h.mean))
+        .with("max", Json::Num(h.max as f64))
+        .with("p50", Json::Num(h.p50 as f64))
+        .with("p99", Json::Num(h.p99 as f64))
+}
+
+impl Kernel {
+    /// Takes a typed snapshot of every kernel metric: copy-path bytes,
+    /// cache and scheduler behavior, CPU time by class, per-splice
+    /// lifecycle spans, and latency digests.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let st = &self.stats;
+        let cs = self.cache.stats();
+        let ns = self.net.stats();
+        let cpu = self.cpu.stats();
+        MetricsSnapshot {
+            at: self.now(),
+            copy: CopyMetrics {
+                copyin_bytes: st.get("copy.copyin_bytes"),
+                copyout_bytes: st.get("copy.copyout_bytes"),
+                driver_bytes: st.get("copy.driver_bytes"),
+                cache_bytes: st.get("copy.cache_bytes"),
+                net_bytes: st.get("copy.net_bytes"),
+            },
+            io: IoMetrics {
+                read_bytes: st.get("io.read_bytes"),
+                write_bytes: st.get("io.write_bytes"),
+                readaheads: st.get("read.readahead"),
+            },
+            cache: CacheMetrics {
+                hits: cs.hits,
+                misses: cs.misses,
+                reclaim_flushes: cs.reclaim_flushes,
+                readaheads: cs.readaheads,
+                evictions: cs.evictions,
+                bcall_completions: cs.bcall_completions,
+                trunc_purged: st.get("cache.trunc_purged"),
+                trunc_detached: st.get("cache.trunc_detached"),
+            },
+            splice: SpliceMetrics {
+                started: st.get("splice.started"),
+                completed: st.get("splice.completed"),
+                reads_issued: st.get("splice.reads_issued"),
+                read_hits: st.get("splice.read_hits"),
+                read_backoffs: st.get("splice.read_backoff"),
+                shared_writes: st.get("splice.shared_writes"),
+                write_backoffs: st.get("splice.write_backoff"),
+                dev_backpressure: st.get("splice.dev_backpressure"),
+                sock_send_errs: st.get("splice.sock_send_err"),
+                append_backoffs: st.get("splice.append_backoff"),
+                append_enospc: st.get("splice.append_enospc"),
+                spans: self.kstat.spans.clone(),
+            },
+            sched: SchedMetrics {
+                ctx_switches: st.get("sched.ctx_switches"),
+                preemptions: st.get("sched.preemptions"),
+                wakeup_races: st.get("sched.wakeup_races"),
+                dispatch_races: st.get("sched.dispatch_races"),
+                exits: st.get("proc.exits"),
+            },
+            cpu: CpuMetrics {
+                intr_time: cpu.get_dur("cpu.intr"),
+                soft_time: cpu.get_dur("cpu.soft"),
+                idle_soft_time: cpu.get_dur("cpu.idle_soft"),
+                intr_items: cpu.get("cpu.intr_items"),
+                soft_items: cpu.get("cpu.soft_items"),
+                soft_deferred: cpu.get("cpu.soft_deferred"),
+                idle_soft_items: cpu.get("cpu.idle_soft_items"),
+            },
+            net: NetMetrics {
+                sent: ns.sent,
+                delivered: ns.delivered,
+                dropped: ns.dropped,
+                bytes_delivered: ns.bytes_delivered,
+                rx_dropped: st.get("net.rx_dropped"),
+            },
+            latency: LatencyMetrics {
+                read_wait: HistSummary::from(&self.kstat.read_wait),
+                bread: HistSummary::from(&self.kstat.bread_latency),
+                bwrite: HistSummary::from(&self.kstat.bwrite_latency),
+                splice_block: HistSummary::from(&self.kstat.splice_block_latency),
+            },
+            update_flushes: st.get("update.flushed"),
+            cold_caches: st.get("harness.cold_cache"),
+        }
+    }
+
+    /// The structured-statistics block itself (spans and histograms),
+    /// for callers that want live access without a snapshot copy.
+    pub fn kstat(&self) -> &ksim::Kstat {
+        &self.kstat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_serializes_and_roundtrips() {
+        let snap = MetricsSnapshot::default();
+        let doc = snap.to_json();
+        let parsed = Json::parse(&doc.render()).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(
+            parsed.get("copy").and_then(|c| c.get("copyin_bytes")).and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            parsed.get("splice").and_then(|s| s.get("spans")).and_then(Json::as_arr).map(<[Json]>::len),
+            Some(0)
+        );
+    }
+}

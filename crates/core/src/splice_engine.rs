@@ -303,6 +303,7 @@ impl Kernel {
         };
         self.splices.insert(id, desc);
         self.stats.bump("splice.started");
+        self.kstat.spans.start(id, self.q.now());
 
         // Descriptor build cost: the bmap walks plus allocation.
         let mut cpu = m.syscall + m.buf_op + Dur::from_us(2) * (nblocks as u64 * 2);
@@ -382,6 +383,7 @@ impl Kernel {
         };
         self.splices.insert(id, desc);
         self.stats.bump("splice.started");
+        self.kstat.spans.start(id, self.q.now());
         match src {
             Source::Sock { sock } => {
                 self.sock_splices.insert(sock, id);
@@ -438,6 +440,24 @@ impl Kernel {
 
     // ----- read issuing (§5.2.1 + §5.2.3) --------------------------------------
 
+    /// Runs a span-note closure for descriptor `desc`, handing it the
+    /// current time and the descriptor's pending-work gauges. A no-op for
+    /// descriptors that are already gone (teardown races).
+    fn span_note(
+        &mut self,
+        desc: u64,
+        f: impl FnOnce(&mut ksim::SpliceSpan, ksim::SimTime, u32, u32),
+    ) {
+        let Some(d) = self.splices.get(&desc) else {
+            return;
+        };
+        let (pr, pw) = (d.pending_reads, d.pending_writes);
+        let now = self.q.now();
+        if let Some(span) = self.kstat.spans.get_mut(desc) {
+            f(span, now, pr, pw);
+        }
+    }
+
     /// Issues reads up to the batch limit. Returns CPU cost incurred in
     /// the caller's context (setup path).
     pub(crate) fn splice_issue_reads(&mut self, id: u64, ctx: IoCtx) -> Dur {
@@ -487,11 +507,13 @@ impl Kernel {
             match out {
                 BreadOutcome::Miss(_) => {
                     self.stats.bump("splice.reads_issued");
+                    self.span_note(id, |s, now, pr, pw| s.note_read_issued(now, pr, pw));
                 }
                 BreadOutcome::Hit(buf) => {
                     // Already cached: the handler runs straight away.
                     self.iodone_map.remove(&tag);
                     self.stats.bump("splice.read_hits");
+                    self.span_note(id, |s, now, pr, pw| s.note_read_hit(now, pr, pw));
                     self.enqueue_kwork(
                         WorkClass::Soft,
                         m.splice_handler,
@@ -509,6 +531,7 @@ impl Kernel {
                     d.next_read -= 1;
                     d.pending_reads -= 1;
                     self.stats.bump("splice.read_backoff");
+                    self.span_note(id, |s, _, _, _| s.note_backoff());
                     self.callout
                         .schedule(self.tick, 1, KWork::SpliceIssueReads { desc: id });
                     return cpu;
@@ -611,6 +634,7 @@ impl Kernel {
                 );
             }
         }
+        self.span_note(desc, |s, now, pr, pw| s.note_write_issued(now, pr, pw));
     }
 
     /// §5.2.2: the write side — allocate a header sharing the read
@@ -640,6 +664,7 @@ impl Kernel {
             None => {
                 // Destination block busy: retry next tick.
                 self.stats.bump("splice.write_backoff");
+                self.span_note(desc, |s, _, _, _| s.note_backoff());
                 self.callout.schedule(
                     self.tick,
                     1,
@@ -714,6 +739,7 @@ impl Kernel {
                 let delay = at.saturating_since(now);
                 let ticks = self.dur_to_ticks(delay);
                 self.stats.bump("splice.dev_backpressure");
+                self.span_note(desc, |s, _, _, _| s.note_backoff());
                 self.callout.schedule(
                     self.tick,
                     ticks,
@@ -778,13 +804,24 @@ impl Kernel {
         };
         d.pending_writes -= 1;
         d.blocks_done += 1;
-        d.bytes_done += d.src_lens[lblk as usize] as u64;
+        let bytes = d.src_lens[lblk as usize] as u64;
+        d.bytes_done += bytes;
         let issued = d.issued_at.remove(&lblk);
         let finished = d.blocks_done == d.nblocks();
         let refill = !finished && d.pending_reads < flow.lo_reads && d.pending_writes < flow.lo_writes;
+        let (pr, pw) = (d.pending_reads, d.pending_writes);
+        let now = self.q.now();
+        if let Some(span) = self.kstat.spans.get_mut(desc) {
+            span.note_block_done(now, bytes, pr, pw);
+            if finished {
+                span.note_drained(now);
+            }
+            if refill {
+                span.note_refill();
+            }
+        }
         if let Some(at) = issued {
-            self.splice_block_latency
-                .record(self.q.now().since(at).as_ns());
+            self.kstat.splice_block_latency.record(now.since(at).as_ns());
         }
         if finished {
             let cost = self.cfg.machine.signal_delivery;
@@ -870,6 +907,7 @@ impl Kernel {
                         );
                     }
                     self.stats.bump("splice.append_backoff");
+                    self.span_note(desc, |s, _, _, _| s.note_backoff());
                     self.callout
                         .schedule(self.tick, 1, KWork::SplicePump { desc });
                     return;
@@ -882,6 +920,17 @@ impl Kernel {
         let d = self.splices.get_mut(&desc).unwrap();
         d.bytes_done += n;
         let finished = d.bytes_done >= d.total;
+        // A pump chunk is read-and-written in one handler: the gauges are
+        // always zero, but the cumulative counters and timestamps still
+        // describe the transfer's shape.
+        if let Some(span) = self.kstat.spans.get_mut(desc) {
+            span.note_read_issued(now, 0, 0);
+            span.note_write_issued(now, 0, 0);
+            span.note_block_done(now, n, 0, 0);
+            if finished {
+                span.note_drained(now);
+            }
+        }
         if finished {
             self.enqueue_kwork(
                 WorkClass::Soft,
@@ -992,6 +1041,9 @@ impl Kernel {
             self.sock_splices.remove(&sock);
         }
         self.stats.bump("splice.completed");
+        if let Some(span) = self.kstat.spans.get_mut(desc) {
+            span.note_completed(now);
+        }
         let id = self.splices[&desc].id;
         self.trace.emit(now, || format!("splice {id} complete"));
         if fasync {

@@ -600,7 +600,7 @@ impl Kernel {
         if let Some((buf, boff, take)) = c.wait_buf.take() {
             debug_assert!(self.cache.io_done(buf), "woken before I/O completed");
             if let Some(at) = c.issued_at.take() {
-                self.read_latency.record(self.q.now().since(at).as_ns());
+                self.kstat.read_wait.record(self.q.now().since(at).as_ns());
             }
             let data = self.cache.data(buf);
             c.got.extend_from_slice(&data.bytes()[boff..boff + take]);

@@ -59,7 +59,7 @@ fn io_bound_process_preempts_a_fresh_cpu_hog() {
     // (which would be ~128 * 40 ms ≈ 5+ s of pure queueing delays on
     // reads alone).
     assert!(t < 4.0, "cp starved: {t:.2}s");
-    assert!(k.stats().get("sched.preemptions") > 0, "no wakeup preemption");
+    assert!(k.metrics().sched.preemptions > 0, "no wakeup preemption");
 }
 
 #[test]
@@ -179,7 +179,7 @@ fn update_daemon_flushes_delayed_writes() {
     let target = k.horizon(12);
     k.run_until(target, |_| false);
     assert!(
-        k.stats().get("update.flushed") > 0,
+        k.metrics().update_flushes > 0,
         "update daemon never flushed"
     );
     // The partial write is now on the medium.

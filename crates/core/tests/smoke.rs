@@ -22,8 +22,9 @@ fn cp_copies_a_file_on_the_ram_disk() {
     assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
     assert_eq!(k.verify_pattern_file("/ram/dst", MB, 42), None);
     // cp moves every byte through user space, twice.
-    assert_eq!(k.stats().get("copy.copyout_bytes"), MB);
-    assert_eq!(k.stats().get("copy.copyin_bytes"), MB);
+    let m = k.metrics();
+    assert_eq!(m.copy.copyout_bytes, MB);
+    assert_eq!(m.copy.copyin_bytes, MB);
     assert!(k.fsck_all().is_empty());
 }
 
@@ -41,9 +42,10 @@ fn scp_splices_a_file_on_the_ram_disk() {
     assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
     assert_eq!(k.verify_pattern_file("/ram/dst", MB, 7), None);
     // The whole point: zero user-space copies.
-    assert_eq!(k.stats().get("copy.copyout_bytes"), 0);
-    assert_eq!(k.stats().get("copy.copyin_bytes"), 0);
-    assert!(k.stats().get("splice.shared_writes") >= MB / 8192);
+    let m = k.metrics();
+    assert_eq!(m.copy.copyout_bytes, 0);
+    assert_eq!(m.copy.copyin_bytes, 0);
+    assert!(m.splice.shared_writes >= MB / 8192);
     assert!(k.fsck_all().is_empty());
 }
 

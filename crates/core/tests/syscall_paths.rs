@@ -309,7 +309,7 @@ fn truncate_over_dirty_blocks_discards_them() {
     // Regression: cp WITHOUT fsync leaves the partial final block as a
     // delayed write; re-opening the destination with O_TRUNC must discard
     // it, not panic or write it back into a freed block.
-    let mut k = KernelBuilder::paper_machine_ram();
+    let mut k = KernelBuilder::paper_machine_ram().build();
     k.setup_file("/d0/src", 100_000, 21); // unaligned: partial last block
     k.cold_cache();
     let pid = k.spawn(Box::new(kproc::programs::Cp::with_options(
@@ -318,7 +318,7 @@ fn truncate_over_dirty_blocks_discards_them() {
     let horizon = k.horizon(300);
     k.run_to_exit(horizon);
     assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
-    assert!(k.stats().get("cache.trunc_purged") > 0);
+    assert!(k.metrics().cache.trunc_purged > 0);
     // Without fsync the last (partial) block is not durable until the
     // cache flushes; flush, then verify.
     k.cold_cache();

@@ -89,6 +89,9 @@ pub struct CacheStats {
     pub readaheads: u64,
     /// Valid blocks evicted to recycle their buffer.
     pub evictions: u64,
+    /// `biodone` completions routed to a `B_CALL` handler (the splice
+    /// engine's asynchronous read/write completion path, §5.2.1).
+    pub bcall_completions: u64,
 }
 
 struct Buf {
@@ -556,6 +559,7 @@ impl Cache {
             b.flags.contains(BufFlags::CALL)
         };
         if call {
+            self.stats.bcall_completions += 1;
             let b = self.buf_mut(id);
             b.flags.remove(BufFlags::CALL);
             let tag = b.iodone.take().expect("B_CALL without b_iodone");

@@ -11,7 +11,7 @@
 
 use ksim::{Dur, SimTime};
 
-use crate::types::{Sig, SyscallRet, SyscallReq};
+use crate::types::{Sig, SpliceArgs, SyscallRet, SyscallReq};
 
 /// What a program does next.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,6 +22,14 @@ pub enum Step {
     Syscall(SyscallReq),
     /// Terminate with a status.
     Exit(i32),
+}
+
+impl Step {
+    /// Issues `splice(2)` with the given arguments — sugar for
+    /// `Step::Syscall(args.req())`.
+    pub fn splice(args: SpliceArgs) -> Step {
+        Step::Syscall(args.req())
+    }
 }
 
 /// What the kernel tells the program at each step.

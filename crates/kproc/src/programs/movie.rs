@@ -11,7 +11,7 @@
 use ksim::Dur;
 
 use crate::program::{Program, Step, UserCtx};
-use crate::types::{Fd, FcntlCmd, OpenFlags, Sig, SpliceLen, SyscallRet, SyscallReq};
+use crate::types::{Fd, FcntlCmd, OpenFlags, Sig, SpliceArgs, SyscallRet, SyscallReq};
 
 #[derive(Debug)]
 enum St {
@@ -146,11 +146,10 @@ impl Program for MoviePlayer {
                 ctx.take_ret();
                 self.st = St::SpliceAudio;
                 // "Copy the audio information; return immediately."
-                Step::Syscall(SyscallReq::Splice {
-                    src: self.audiofile.unwrap(),
-                    dst: self.audio_out.unwrap(),
-                    len: SpliceLen::Eof,
-                })
+                Step::splice(SpliceArgs::new(
+                    self.audiofile.unwrap(),
+                    self.audio_out.unwrap(),
+                ))
             }
             St::SpliceAudio => {
                 match ctx.take_ret() {
@@ -173,11 +172,10 @@ impl Program for MoviePlayer {
             St::SetItimer => {
                 ctx.take_ret();
                 self.st = St::SpliceFrame;
-                Step::Syscall(SyscallReq::Splice {
-                    src: self.videofile.unwrap(),
-                    dst: self.video_out.unwrap(),
-                    len: SpliceLen::Bytes(self.frame_size),
-                })
+                Step::splice(
+                    SpliceArgs::new(self.videofile.unwrap(), self.video_out.unwrap())
+                        .bytes(self.frame_size),
+                )
             }
             St::SpliceFrame => match ctx.take_ret() {
                 SyscallRet::Val(n) if n > 0 => {
@@ -199,11 +197,10 @@ impl Program for MoviePlayer {
             St::Pause => {
                 ctx.take_ret();
                 self.st = St::SpliceFrame;
-                Step::Syscall(SyscallReq::Splice {
-                    src: self.videofile.unwrap(),
-                    dst: self.video_out.unwrap(),
-                    len: SpliceLen::Bytes(self.frame_size),
-                })
+                Step::splice(
+                    SpliceArgs::new(self.videofile.unwrap(), self.video_out.unwrap())
+                        .bytes(self.frame_size),
+                )
             }
             St::Done => {
                 ctx.ret.take();
@@ -221,6 +218,7 @@ impl Program for MoviePlayer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::SpliceLen;
 
     fn drive_to_frames(p: &mut MoviePlayer, ctx: &mut UserCtx) {
         // Four opens.

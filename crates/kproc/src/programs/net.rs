@@ -9,7 +9,7 @@ use ksim::Dur;
 
 use crate::program::{Program, Step, UserCtx};
 use crate::programs::util::pattern_bytes;
-use crate::types::{Fd, SockAddr, SpliceLen, SyscallRet, SyscallReq};
+use crate::types::{Fd, SockAddr, SpliceArgs, SyscallRet, SyscallReq};
 
 /// Sends `count` datagrams of `size` bytes to `dest`, pacing each send
 /// with a small user-mode gap.
@@ -350,11 +350,10 @@ impl Program for UdpRelaySplice {
             4 => {
                 ctx.take_ret();
                 self.st = 5;
-                Step::Syscall(SyscallReq::Splice {
-                    src: self.in_fd.unwrap(),
-                    dst: self.out_fd.unwrap(),
-                    len: SpliceLen::Bytes(self.total_bytes),
-                })
+                Step::splice(
+                    SpliceArgs::new(self.in_fd.unwrap(), self.out_fd.unwrap())
+                        .bytes(self.total_bytes),
+                )
             }
             5 => {
                 match ctx.take_ret() {
@@ -375,6 +374,7 @@ impl Program for UdpRelaySplice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::SpliceLen;
 
     #[test]
     fn source_sends_expected_count() {

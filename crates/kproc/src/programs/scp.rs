@@ -7,7 +7,7 @@
 //! announced with `SIGIO`, which the program waits for in `pause()`.
 
 use crate::program::{Program, Step, UserCtx};
-use crate::types::{Fd, FcntlCmd, OpenFlags, Sig, SpliceLen, SyscallRet, SyscallReq};
+use crate::types::{Fd, FcntlCmd, OpenFlags, Sig, SpliceArgs, SyscallRet, SyscallReq};
 
 /// How `scp` waits for the transfer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -122,11 +122,10 @@ impl Program for Scp {
                 match self.mode {
                     ScpMode::Sync => {
                         self.st = St::Splice;
-                        Step::Syscall(SyscallReq::Splice {
-                            src: self.src_fd.unwrap(),
-                            dst: self.dst_fd.unwrap(),
-                            len: SpliceLen::Eof,
-                        })
+                        Step::splice(SpliceArgs::new(
+                            self.src_fd.unwrap(),
+                            self.dst_fd.unwrap(),
+                        ))
                     }
                     ScpMode::Async => {
                         self.st = St::Sigaction;
@@ -148,11 +147,10 @@ impl Program for Scp {
             St::Fcntl => {
                 ctx.take_ret();
                 self.st = St::Splice;
-                Step::Syscall(SyscallReq::Splice {
-                    src: self.src_fd.unwrap(),
-                    dst: self.dst_fd.unwrap(),
-                    len: SpliceLen::Eof,
-                })
+                Step::splice(SpliceArgs::new(
+                    self.src_fd.unwrap(),
+                    self.dst_fd.unwrap(),
+                ))
             }
             St::Splice => match ctx.take_ret() {
                 SyscallRet::Val(n) if n >= 0 => match self.mode {
@@ -214,6 +212,7 @@ impl Program for Scp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::SpliceLen;
 
     #[test]
     fn sync_mode_single_splice() {

@@ -1,5 +1,10 @@
 //! Property tests for the CPU engine and scheduler bookkeeping.
 
+
+// Compiled only with `cargo test --features props` (hermetic default
+// builds skip the property suites).
+#![cfg(feature = "props")]
+
 use proptest::prelude::*;
 
 use kproc::{Admit, CpuEngine, CurrentRun, Pid, RunKind, Scheduler, WorkClass};
@@ -17,7 +22,7 @@ proptest! {
         let mut last_end = SimTime::ZERO;
         let mut total_run = Dur::ZERO;
         for (gap_us, cost_us, soft) in items {
-            now = now + Dur::from_us(gap_us);
+            now += Dur::from_us(gap_us);
             let class = if soft { WorkClass::Soft } else { WorkClass::Intr };
             match cpu.admit(now, Dur::from_us(cost_us), class) {
                 Admit::Run(w) => {

@@ -6,8 +6,9 @@
 //! on: a virtual clock ([`SimTime`], [`Dur`]), a cancellable event queue
 //! ([`EventQueue`]), a BSD-style callout list ([`Callout`]) matching the
 //! mechanism the paper uses to decouple the read and write sides of a
-//! splice, cheap named counters ([`Stats`]), and an optional trace ring
-//! ([`Trace`]).
+//! splice, cheap named counters ([`Stats`]), structured spans/gauges and
+//! latency digests ([`kstat`]), a dependency-free JSON value ([`Json`])
+//! for the bench emitters, and an optional trace ring ([`Trace`]).
 //!
 //! Everything here is single-threaded on purpose: the simulated machine is
 //! a uniprocessor DECstation 5000/200, and determinism (same inputs → same
@@ -16,12 +17,16 @@
 
 pub mod callout;
 pub mod event;
+pub mod json;
+pub mod kstat;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use callout::{Callout, CalloutId};
 pub use event::{EventId, EventQueue};
+pub use json::Json;
+pub use kstat::{FlowSample, HistSummary, Kstat, SpliceSpan, SpliceSpans};
 pub use stats::{Hist, Stats};
 pub use time::{Dur, SimTime};
 pub use trace::Trace;

@@ -2,6 +2,11 @@
 //! with a reference model, and the callout table must deliver everything
 //! exactly once in tick order.
 
+
+// Compiled only with `cargo test --features props` (hermetic default
+// builds skip the property suites).
+#![cfg(feature = "props")]
+
 use proptest::prelude::*;
 
 use ksim::{Callout, Dur, EventQueue, SimTime};

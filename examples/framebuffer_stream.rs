@@ -12,7 +12,7 @@
 use kdev::Framebuffer;
 use kproc::programs::UdpSink;
 use kproc::{
-    Fd, OpenFlags, Program, SockAddr, SpliceLen, Step, SyscallRet, SyscallReq, UserCtx,
+    Fd, OpenFlags, Program, SockAddr, SpliceArgs, Step, SyscallRet, SyscallReq, UserCtx,
 };
 use splice::KernelBuilder;
 
@@ -54,11 +54,10 @@ impl Program for FbStreamer {
             3 => {
                 ctx.take_ret();
                 self.st = 4;
-                Step::Syscall(SyscallReq::Splice {
-                    src: self.fb_fd.unwrap(),
-                    dst: self.sock_fd.unwrap(),
-                    len: SpliceLen::Bytes(FRAMES_TO_SEND * FRAME as u64),
-                })
+                Step::splice(
+                    SpliceArgs::new(self.fb_fd.unwrap(), self.sock_fd.unwrap())
+                        .bytes(FRAMES_TO_SEND * FRAME as u64),
+                )
             }
             4 => {
                 if let SyscallRet::Val(n) = ctx.take_ret() {
@@ -106,10 +105,10 @@ fn main() {
         "datagrams: {} sent, {} delivered, {} dropped",
         stats.sent, stats.delivered, stats.dropped
     );
+    let m = k.metrics();
     println!(
         "user-space copies on the streaming path: {} bytes copyin, fb read {} bytes via splice",
-        k.stats().get("copy.copyin_bytes"),
-        k.stats().get("copy.driver_bytes"),
+        m.copy.copyin_bytes, m.copy.driver_bytes,
     );
     let _ = sink;
 }

@@ -31,9 +31,10 @@ fn main() {
     assert_eq!(k.verify_pattern_file("/d1/copy", 4 * MB, 7), None);
     let scp_s = t1.since(t0).as_secs_f64();
     println!("splice copy : 4 MB across RZ58s in {scp_s:.3} simulated seconds");
+    let m = k.metrics();
     println!(
         "  user-space bytes copied: {} (that is the point)",
-        k.stats().get("copy.copyout_bytes") + k.stats().get("copy.copyin_bytes")
+        m.copy.copyout_bytes + m.copy.copyin_bytes
     );
 
     // The same copy with read(2)/write(2).
@@ -44,9 +45,10 @@ fn main() {
     assert_eq!(k.verify_pattern_file("/d1/copy2", 4 * MB, 7), None);
     let cp_s = t1.since(t0).as_secs_f64();
     println!("cp copy     : same file in {cp_s:.3} simulated seconds");
+    let m = k.metrics();
     println!(
         "  user-space bytes copied: {}",
-        k.stats().get("copy.copyout_bytes") + k.stats().get("copy.copyin_bytes")
+        m.copy.copyout_bytes + m.copy.copyin_bytes
     );
 
     // And on the RAM disk, where the CPU path is everything.

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 gate, run exactly as CI does: hermetic build + tests, lints as
+# errors, and a smoke run of the table2 binary proving the BENCH JSON
+# artifact is written and parseable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== tier-1: offline release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== clippy (workspace, warnings are errors) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== table2 smoke run =="
+rm -f BENCH_table2.json
+cargo run --release -p bench --bin table2
+test -s BENCH_table2.json
+
+# Parse the artifact with the same in-tree parser the snapshot uses.
+cargo test -q --test observability snapshot_json_round_trips
+python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_table2.json"))
+assert doc["table"] == "table2", doc.get("table")
+rows = doc["rows"]
+assert len(rows) == 3, len(rows)
+for row in rows:
+    scp = row["scp"]["metrics"]
+    assert scp["copy"]["copyin_bytes"] == 0
+    assert scp["copy"]["copyout_bytes"] == 0
+    assert len(scp["splice"]["spans"]) >= 1
+    assert row["cp"]["metrics"]["copy"]["copyin_bytes"] > 0
+print("BENCH_table2.json: ok (%d rows)" % len(rows))
+EOF
+
+echo "ci.sh: all green"

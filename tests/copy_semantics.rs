@@ -83,9 +83,10 @@ fn splice_moves_zero_user_bytes() {
     k.cold_cache();
     run_copy(&mut k, Box::new(Scp::new("/d0/src", "/d1/dst")));
     assert_copied(&mut k, MB, 3);
-    assert_eq!(k.stats().get("copy.copyin_bytes"), 0);
-    assert_eq!(k.stats().get("copy.copyout_bytes"), 0);
-    assert_eq!(k.stats().get("copy.cache_bytes"), 0, "shared header, no cache copy");
+    let m = k.metrics();
+    assert_eq!(m.copy.copyin_bytes, 0);
+    assert_eq!(m.copy.copyout_bytes, 0);
+    assert_eq!(m.copy.cache_bytes, 0, "shared header, no cache copy");
 }
 
 #[test]
@@ -98,7 +99,7 @@ fn repeated_splices_reuse_the_destination() {
         Box::new(Scp::with_options("/d0/src", "/d1/dst", ScpMode::Async, 4)),
     );
     assert_copied(&mut k, MB, 5);
-    assert_eq!(k.stats().get("splice.completed"), 4);
+    assert_eq!(k.metrics().splice.completed, 4);
 }
 
 #[test]
@@ -158,7 +159,7 @@ fn warm_cache_splice_uses_read_hits() {
     run_copy(&mut k, Box::new(Scp::new("/d0/src", "/d1/dst")));
     assert_copied(&mut k, MB, 17);
     assert!(
-        k.stats().get("splice.read_hits") > 0,
+        k.metrics().splice.read_hits > 0,
         "warm source blocks must be cache hits"
     );
 }

@@ -4,7 +4,9 @@
 use kdev::{AudioDac, Framebuffer, VideoDac};
 use khw::DiskProfile;
 use kproc::programs::{MoviePlayer, UdpSink};
-use kproc::{Fd, OpenFlags, ProcState, Program, SockAddr, SpliceLen, Step, SyscallReq, UserCtx};
+use kproc::{
+    Fd, OpenFlags, ProcState, Program, SockAddr, SpliceArgs, SpliceLen, Step, SyscallReq, UserCtx,
+};
 use ksim::Dur;
 use splice::objects::CharDev;
 use splice::KernelBuilder;
@@ -53,7 +55,7 @@ impl Program for SpliceOnce {
             2 => {
                 self.dst_fd = ctx.take_ret().as_fd();
                 self.st = 3;
-                Step::Syscall(SyscallReq::Splice {
+                Step::splice(SpliceArgs {
                     src: self.src_fd.unwrap(),
                     dst: self.dst_fd.unwrap(),
                     len: self.len,
@@ -191,11 +193,9 @@ fn framebuffer_to_socket_splice_delivers_datagrams() {
                 3 => {
                     ctx.take_ret();
                     self.st = 4;
-                    Step::Syscall(SyscallReq::Splice {
-                        src: self.fb.unwrap(),
-                        dst: self.sock.unwrap(),
-                        len: SpliceLen::Bytes(self.total),
-                    })
+                    Step::splice(
+                        SpliceArgs::new(self.fb.unwrap(), self.sock.unwrap()).bytes(self.total),
+                    )
                 }
                 4 => {
                     let ret = ctx.take_ret();
@@ -218,5 +218,5 @@ fn framebuffer_to_socket_splice_delivers_datagrams() {
     assert_eq!(k.net().stats().bytes_delivered, total);
     // No user-space copies on the streaming side (the sink's recv copies
     // are its own).
-    assert_eq!(k.stats().get("copy.copyin_bytes"), 0);
+    assert_eq!(k.metrics().copy.copyin_bytes, 0);
 }

@@ -1,0 +1,123 @@
+//! Cross-crate integration: the observability layer.
+//!
+//! A full splice run must leave a well-formed [`splice::MetricsSnapshot`]
+//! behind — span lifecycle timestamps in order, flow-control gauges
+//! within the configured watermarks, cumulative counters consistent at
+//! every sampled instant — and the hand-rolled JSON emitter must
+//! round-trip the snapshot through its own parser.
+
+use kproc::programs::{Cp, Scp};
+use kproc::ProcState;
+use ksim::Json;
+use splice::{Kernel, KernelBuilder, KernelConfig};
+
+const MB: u64 = 1024 * 1024;
+
+fn spliced_kernel() -> Kernel {
+    let mut k = KernelBuilder::paper_machine_ram().build();
+    k.setup_file("/d0/src", 2 * MB, 5);
+    k.cold_cache();
+    let pid = k.spawn(Box::new(Scp::new("/d0/src", "/d1/dst")));
+    let horizon = k.horizon(300);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    k
+}
+
+#[test]
+fn splice_span_lifecycle_is_monotonic() {
+    let k = spliced_kernel();
+    let m = k.metrics();
+    assert_eq!(m.splice.started, 1);
+    assert_eq!(m.splice.completed, 1);
+    assert_eq!(m.splice.spans.len(), 1);
+
+    let span = &m.splice[1];
+    let created = span.created.expect("created");
+    let first_read = span.first_read.expect("first_read");
+    let first_write = span.first_write.expect("first_write");
+    let drained = span.drained.expect("drained");
+    let completed = span.completed.expect("completed");
+    assert!(created <= first_read, "created after first read");
+    assert!(first_read <= first_write, "read side must lead the writes");
+    assert!(first_write <= drained, "drained before any write");
+    assert!(drained <= completed, "completion delivered before drain");
+
+    assert_eq!(span.bytes_moved, 2 * MB);
+    assert_eq!(span.blocks_done, span.writes_issued);
+    assert!(span.samples_truncated || !span.samples.is_empty());
+}
+
+#[test]
+fn flow_gauges_respect_the_configured_watermarks() {
+    let flow = KernelConfig::default().flow;
+    let k = spliced_kernel();
+    let span = &k.kstat().spans[1];
+
+    // The read side never exceeds one refill batch in flight; the write
+    // side is bounded by the drain watermark plus one batch arriving.
+    assert!(span.max_pending_reads <= flow.batch, "reads over watermark");
+    assert!(
+        span.max_pending_writes <= flow.lo_writes + flow.batch,
+        "writes over watermark"
+    );
+
+    let mut last_at = None;
+    for s in &span.samples {
+        // Sampled time series is in event order.
+        if let Some(prev) = last_at {
+            assert!(s.at >= prev, "samples out of order");
+        }
+        last_at = Some(s.at);
+        // A write is only issued once its block's read has finished, so
+        // cumulatively reads always lead writes.
+        assert!(
+            s.reads_started() >= s.writes_issued,
+            "writes ahead of reads at {:?}",
+            s.at
+        );
+        assert!(s.pending_reads <= flow.batch);
+        assert!(s.pending_writes <= flow.lo_writes + flow.batch);
+    }
+}
+
+#[test]
+fn cp_runs_leave_no_spans_but_count_copies() {
+    let mut k = KernelBuilder::paper_machine_ram().build();
+    k.setup_file("/d0/src", MB, 9);
+    k.cold_cache();
+    let pid = k.spawn(Box::new(Cp::new("/d0/src", "/d1/dst")));
+    let horizon = k.horizon(300);
+    k.run_to_exit(horizon);
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    let m = k.metrics();
+    assert!(m.splice.spans.is_empty(), "cp must not open splice spans");
+    assert_eq!(m.copy.copyin_bytes, MB);
+    assert_eq!(m.copy.copyout_bytes, MB);
+}
+
+#[test]
+fn snapshot_json_round_trips() {
+    let k = spliced_kernel();
+    let doc = k.metrics().to_json();
+
+    let compact = Json::parse(&doc.render()).expect("compact form parses");
+    assert_eq!(compact, doc);
+    let pretty = Json::parse(&doc.render_pretty()).expect("pretty form parses");
+    assert_eq!(pretty, doc);
+
+    // Spot-check the schema the BENCH_*.json artifacts rely on.
+    let splice_obj = doc.get("splice").expect("splice section");
+    let spans = splice_obj
+        .get("spans")
+        .and_then(Json::as_arr)
+        .expect("spans array");
+    assert_eq!(spans.len(), 1);
+    assert_eq!(spans[0].get("bytes_moved").and_then(Json::as_u64), Some(2 * MB));
+    assert_eq!(
+        doc.get("copy")
+            .and_then(|c| c.get("copyout_bytes"))
+            .and_then(Json::as_u64),
+        Some(0)
+    );
+}

@@ -2,6 +2,11 @@
 //! through the full splice path, with data integrity and filesystem
 //! consistency as the properties — plus determinism of the simulation.
 
+
+// Compiled only with `cargo test --features props` (hermetic default
+// builds skip the property suites).
+#![cfg(feature = "props")]
+
 use khw::DiskProfile;
 use kproc::programs::{Cp, Scp, ScpMode};
 use kproc::ProcState;
@@ -93,7 +98,7 @@ fn simulation_is_deterministic() {
         k.spawn(Box::new(Cp::new("/d0/src", "/d1/dst2")));
         let horizon = k.horizon(600);
         let end = k.run_to_exit(horizon);
-        let ctx = k.stats().get("sched.ctx_switches");
+        let ctx = k.metrics().sched.ctx_switches;
         (end.as_ns(), ctx)
     };
     let a = run();

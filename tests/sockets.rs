@@ -68,7 +68,7 @@ fn splice_relay_forwards_in_kernel() {
     assert!(matches!(k.procs().must(sink).state, ProcState::Exited(0)));
     assert!(matches!(k.procs().must(relay).state, ProcState::Exited(0)));
     // The relay path never copies to user space.
-    assert_eq!(k.stats().get("splice.started"), 1);
+    assert_eq!(k.metrics().splice.started, 1);
 }
 
 #[test]
