@@ -60,8 +60,7 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| {
             let mut fx = Vec::new();
             for blk in 0..400u64 {
-                let kbuf::BreadOutcome::Hit(id) = cache.bread(DevId(0), blk, 8192, &mut fx)
-                else {
+                let kbuf::BreadOutcome::Hit(id) = cache.bread(DevId(0), blk, 8192, &mut fx) else {
                     panic!()
                 };
                 cache.brelse(id, &mut fx);

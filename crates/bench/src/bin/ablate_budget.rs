@@ -14,8 +14,7 @@ fn main() {
     for frac_pct in [5u64, 10, 20, 40, 80] {
         let mut exp = Experiment::paper(DiskRow::Ram);
         let tick = exp.config.machine.tick();
-        exp.config.machine.softwork_budget_per_tick =
-            Dur::from_ns(tick.as_ns() * frac_pct / 100);
+        exp.config.machine.softwork_budget_per_tick = Dur::from_ns(tick.as_ns() * frac_pct / 100);
         let idle = idle_baseline(&exp);
         let r = availability(&exp, Method::Scp, idle);
         rows.push(vec![

@@ -9,7 +9,13 @@ fn main() {
     for disk in DiskRow::all() {
         let exp = Experiment::paper(disk);
         let mut row = vec![disk.label().to_string()];
-        for m in [Method::Cp, Method::Handle, Method::Mmap, Method::ScpSync, Method::Scp] {
+        for m in [
+            Method::Cp,
+            Method::Handle,
+            Method::Mmap,
+            Method::ScpSync,
+            Method::Scp,
+        ] {
             let r = throughput(&exp, m);
             row.push(format!("{:.0}", r.kb_per_s));
         }

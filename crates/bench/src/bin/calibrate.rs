@@ -20,7 +20,11 @@ fn main() {
             println!("idle elapsed: {:.4}s", idle_baseline(&exp));
         }
         Some("avail-cp") | Some("avail-scp") => {
-            let m = if args[2] == "avail-cp" { Method::Cp } else { Method::Scp };
+            let m = if args[2] == "avail-cp" {
+                Method::Cp
+            } else {
+                Method::Scp
+            };
             let idle = idle_baseline(&exp);
             let r = availability(&exp, m, idle);
             println!(

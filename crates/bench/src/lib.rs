@@ -143,10 +143,18 @@ impl Experiment {
             .copy_cost(khw::CopyKind::Copyin, self.config.block_size as usize);
         match method {
             Method::Cp => Box::new(Cp::with_options("/d0/src", "/d1/dst", 8192, true, repeat)),
-            Method::Scp => Box::new(Scp::with_options("/d0/src", "/d1/dst", ScpMode::Async, repeat)),
-            Method::ScpSync => {
-                Box::new(Scp::with_options("/d0/src", "/d1/dst", ScpMode::Sync, repeat))
-            }
+            Method::Scp => Box::new(Scp::with_options(
+                "/d0/src",
+                "/d1/dst",
+                ScpMode::Async,
+                repeat,
+            )),
+            Method::ScpSync => Box::new(Scp::with_options(
+                "/d0/src",
+                "/d1/dst",
+                ScpMode::Sync,
+                repeat,
+            )),
             Method::Handle => Box::new(kproc::programs::Repeat::new(repeat, || {
                 Box::new(HandleCopy::new("/d0/src", "/d1/dst"))
             })),
@@ -188,8 +196,7 @@ impl ThroughputResult {
 ///
 /// Panics if the file cannot be written.
 pub fn write_bench_json(path: &str, doc: &Json) {
-    std::fs::write(path, doc.render_pretty())
-        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    std::fs::write(path, doc.render_pretty()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("wrote {path}");
 }
 
@@ -219,10 +226,18 @@ pub fn throughput(exp: &Experiment, method: Method) -> ThroughputResult {
         exp.disk.label()
     );
     let errors = k.fsck_all();
-    assert!(errors.is_empty(), "fsck after {}: {errors:?}", method.label());
+    assert!(
+        errors.is_empty(),
+        "fsck after {}: {errors:?}",
+        method.label()
+    );
     let snapshot = k.metrics();
     if std::env::var("BENCH_STATS").is_ok() {
-        println!("--- metrics after {} on {} ---", method.label(), exp.disk.label());
+        println!(
+            "--- metrics after {} on {} ---",
+            method.label(),
+            exp.disk.label()
+        );
         println!("{}", snapshot.to_json().render_pretty());
         for d in k.disks() {
             if let splice::DiskUnitKind::Scsi(disk) = &d.kind {
@@ -296,7 +311,11 @@ pub fn availability(exp: &Experiment, method: Method, idle_elapsed: f64) -> Avai
     let (_, elapsed) = run_test_program(&mut k, Some(copier));
     let snapshot = k.metrics();
     if std::env::var("BENCH_STATS").is_ok() {
-        println!("--- availability diagnostics: {} on {} ---", method.label(), exp.disk.label());
+        println!(
+            "--- availability diagnostics: {} on {} ---",
+            method.label(),
+            exp.disk.label()
+        );
         for p in k.procs().iter() {
             println!(
                 "  {:?} {} state={:?} user={} sys={} vcsw={} icsw={} syscalls={}",

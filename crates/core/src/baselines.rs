@@ -23,7 +23,7 @@
 
 use kbuf::BreadOutcome;
 use kproc::{
-    Chan, ChanSpace, Errno, Fd, OpenFlags, Pid, Program, Step, SyscallRet, SyscallReq, UserCtx,
+    Chan, ChanSpace, Errno, Fd, OpenFlags, Pid, Program, Step, SyscallReq, SyscallRet, UserCtx,
 };
 use ksim::Dur;
 
@@ -107,14 +107,26 @@ impl Kernel {
                     };
                 }
                 BreadOutcome::Busy(buf) => {
-                    self.conts.insert(pid, Cont::HandleRead { fid, wait_buf: None });
+                    self.conts.insert(
+                        pid,
+                        Cont::HandleRead {
+                            fid,
+                            wait_buf: None,
+                        },
+                    );
                     return SyscallOutcome::Block {
                         cpu,
                         chan: Chan::new(ChanSpace::Buf, buf.0 as u64),
                     };
                 }
                 BreadOutcome::NoBuffers => {
-                    self.conts.insert(pid, Cont::HandleRead { fid, wait_buf: None });
+                    self.conts.insert(
+                        pid,
+                        Cont::HandleRead {
+                            fid,
+                            wait_buf: None,
+                        },
+                    );
                     return SyscallOutcome::Block {
                         cpu,
                         chan: Chan::new(ChanSpace::AnyBuf, 0),
@@ -316,7 +328,11 @@ impl Kernel {
                 cpu: cpu + c2,
                 chan,
             },
-            SyscallOutcome::BlockUntil { cpu: c2, until, then } => SyscallOutcome::BlockUntil {
+            SyscallOutcome::BlockUntil {
+                cpu: c2,
+                until,
+                then,
+            } => SyscallOutcome::BlockUntil {
                 cpu: cpu + c2,
                 until,
                 then,

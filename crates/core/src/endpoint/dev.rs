@@ -1,0 +1,88 @@
+//! Character-device endpoint backend: the `kdev` glue.
+//!
+//! Stream **source** (framebuffer): each pull reads a deterministic
+//! frame-data chunk at the current simulated time.
+//!
+//! Stream **sink** (audio/video DAC): deliver as much of an arrived
+//! block as the device accepts, honouring its pacing back-pressure; the
+//! remainder retries via the callout when space drains. The audio DAC's
+//! back-pressure is what rate-limits a whole-file audio splice.
+
+use crate::endpoint::Block;
+use crate::event::KWork;
+use crate::kernel::Kernel;
+use crate::objects::CharDev;
+
+impl Kernel {
+    /// Reads `want` bytes of frame data from the framebuffer.
+    pub(crate) fn fb_pull(&mut self, cdev: usize, now: ksim::SimTime, want: usize) -> Vec<u8> {
+        let CharDev::Fb(fb) = &mut self.cdevs[cdev].dev else {
+            panic!("fb_pull on a non-framebuffer device")
+        };
+        fb.read(now, want)
+    }
+
+    /// Device-sink write side: paced delivery of one arrived block.
+    pub(crate) fn splice_dev_write(&mut self, desc: u64, lblk: u64, src: Block, off: usize) {
+        let now = self.q.now();
+        let Some(d) = self.splices.get(&desc) else {
+            if let Block::Buf(buf) = src {
+                self.release_buf(buf);
+            }
+            return;
+        };
+        let crate::endpoint::DstEndpoint::Dev { cdev } = d.dst else {
+            panic!("splice_dev_write with non-device sink")
+        };
+        let len = match &src {
+            Block::Bytes(data) => data.len(),
+            Block::Buf(_) => d.mapped_len(lblk),
+        };
+        let want = len - off;
+        let (accepted, retry_at) = match &mut self.cdevs[cdev].dev {
+            CharDev::Audio(a) => {
+                let took = a.write_some(now, want);
+                let retry = if took < want {
+                    Some(a.time_for_space(now, want - took))
+                } else {
+                    None
+                };
+                (took, retry)
+            }
+            CharDev::Video(v) => {
+                v.write(now, want);
+                (want, None)
+            }
+            CharDev::Fb(_) => unreachable!("fb is not a sink"),
+        };
+        if accepted > 0 {
+            self.stats.add("copy.driver_bytes", accepted as u64);
+        }
+        match retry_at {
+            None => {
+                if let Block::Buf(buf) = src {
+                    let d = self.splices.get_mut(&desc).unwrap();
+                    d.src_bufs.remove(&lblk);
+                    self.release_buf(buf);
+                }
+                self.splice_block_completed(desc, lblk, len as u64);
+            }
+            Some(at) => {
+                let delay = at.saturating_since(now);
+                let ticks = self.dur_to_ticks(delay);
+                self.stats.bump("splice.dev_backpressure");
+                self.span_note(desc, |s, _, _, _| s.note_backoff());
+                self.callout.schedule(
+                    self.tick,
+                    ticks,
+                    KWork::SpliceDevWrite {
+                        desc,
+                        lblk,
+                        src,
+                        off: off + accepted,
+                    },
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Socket endpoint backend: the `knet` glue.
+//!
+//! Stream **source**: one pending-read slot pulls one queued datagram
+//! (truncated to the transfer's remaining bytes). The engine issues at
+//! most one pull per queued datagram (`rcv_depth`), and `net_rx` re-arms
+//! the read side when the next datagram arrives.
+//!
+//! Stream **sink**: one arrived block becomes one datagram — no user
+//! copy, no socket-buffer copy.
+
+use knet::{Datagram, SockId};
+
+use crate::endpoint::Block;
+use crate::event::Event;
+use crate::kernel::Kernel;
+
+impl Kernel {
+    /// Pulls the next queued datagram, truncated to `want` bytes.
+    /// `None` if the queue drained between issue and apply.
+    pub(crate) fn sock_pull(&mut self, sock: SockId, want: usize) -> Option<Vec<u8>> {
+        let mut data = self.net.recv(sock).ok().flatten().map(|d| d.data)?;
+        data.truncate(want);
+        Some(data)
+    }
+
+    /// Sends `payload` as one datagram and schedules its delivery.
+    pub(crate) fn sock_send_payload(&mut self, sock: SockId, payload: Vec<u8>) {
+        let now = self.q.now();
+        match self.net.send(now, sock, payload.len()) {
+            Ok(tx) => {
+                if let Some(dst) = tx.dst {
+                    let src_addr = self.net.source_addr(sock).expect("socket exists");
+                    self.q.schedule(
+                        tx.arrival.max(now),
+                        Event::NetDeliver {
+                            dst,
+                            dgram: Datagram {
+                                src: src_addr,
+                                data: payload,
+                            },
+                        },
+                    );
+                }
+            }
+            Err(_) => {
+                self.stats.bump("splice.sock_send_err");
+            }
+        }
+    }
+
+    /// Socket-sink write side: packetize one arrived block.
+    pub(crate) fn splice_sock_write(&mut self, desc: u64, lblk: u64, src: Block) {
+        let Some(d) = self.splices.get(&desc) else {
+            if let Block::Buf(buf) = src {
+                self.release_buf(buf);
+            }
+            return;
+        };
+        let crate::endpoint::DstEndpoint::Sock { sock } = d.dst else {
+            panic!("splice_sock_write with non-socket sink")
+        };
+        let (payload, buf) = match src {
+            Block::Bytes(data) => (data, None),
+            Block::Buf(buf) => {
+                let len = d.mapped_len(lblk);
+                let boff = if lblk == 0 { d.first_boff() } else { 0 };
+                let data = self.cache.data(buf);
+                let bytes = data.bytes();
+                (bytes[boff..boff + len].to_vec(), Some(buf))
+            }
+        };
+        let bytes = payload.len() as u64;
+        self.sock_send_payload(sock, payload);
+        if let Some(buf) = buf {
+            let d = self.splices.get_mut(&desc).unwrap();
+            d.src_bufs.remove(&lblk);
+            self.release_buf(buf);
+        }
+        self.splice_block_completed(desc, lblk, bytes);
+    }
+}

@@ -15,6 +15,8 @@ use kbuf::{BufId, IoDir};
 use knet::{Datagram, SockId};
 use kproc::Pid;
 
+use crate::endpoint::Block;
+
 /// A unit of kernel work (see module docs).
 #[derive(Debug)]
 pub enum KWork {
@@ -81,6 +83,26 @@ pub enum KWork {
         /// Descriptor id.
         desc: u64,
     },
+    /// Read side for stream sources: pull one chunk (a datagram or a
+    /// framebuffer read) into the engine's pending-read accounting.
+    SpliceStreamPull {
+        /// Descriptor id.
+        desc: u64,
+        /// Pull sequence number (the stream's logical block).
+        lblk: u64,
+    },
+    /// Write side for byte streams into a file sink: append one arrived
+    /// chunk at its preassigned offset.
+    SpliceAppend {
+        /// Descriptor id.
+        desc: u64,
+        /// Logical block (pull sequence number).
+        lblk: u64,
+        /// Preassigned file offset (idempotent across retries).
+        off: u64,
+        /// The chunk.
+        data: Vec<u8>,
+    },
     /// Write side when the sink is a character device: deliver the block
     /// (partially, if the device buffer is smaller; the rest retries via
     /// the callout when space drains).
@@ -89,8 +111,8 @@ pub enum KWork {
         desc: u64,
         /// Logical block.
         lblk: u64,
-        /// The read-side buffer.
-        src_buf: BufId,
+        /// The arrived block (held buffer or owned chunk).
+        src: Block,
         /// Bytes of this block already delivered.
         off: usize,
     },
@@ -100,13 +122,8 @@ pub enum KWork {
         desc: u64,
         /// Logical block.
         lblk: u64,
-        /// The read-side buffer.
-        src_buf: BufId,
-    },
-    /// Pump for socket- or framebuffer-sourced splices.
-    SplicePump {
-        /// Descriptor id.
-        desc: u64,
+        /// The arrived block (held buffer or owned chunk).
+        src: Block,
     },
     /// Finalisation: deliver `SIGIO` or wake the synchronous caller.
     SpliceComplete {

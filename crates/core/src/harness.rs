@@ -146,7 +146,8 @@ impl Kernel {
         let unit = &self.disks[disk];
         let ino = unit.fs.lookup(&sub).expect("file exists");
         let size = unit.fs.size(ino);
-        unit.fs.read_direct(unit.kind.store(), ino, 0, size as usize)
+        unit.fs
+            .read_direct(unit.kind.store(), ino, 0, size as usize)
     }
 
     /// Verifies that a file holds exactly `len` bytes of pattern `seed`.

@@ -23,8 +23,8 @@ use kfs::{Fs, FsIo};
 use khw::{Disk, DiskProfile, MachineProfile, RamDisk};
 use knet::{Net, SockId};
 use kproc::{
-    Admit, Chan, ChanSpace, CpuEngine, Pid, ProcState, ProcTable, Program, RunKind, Scheduler,
-    Sig, Step, WorkClass,
+    Admit, Chan, ChanSpace, CpuEngine, Pid, ProcState, ProcTable, Program, RunKind, Scheduler, Sig,
+    Step, WorkClass,
 };
 use ksim::{Callout, Dur, EventQueue, SimTime, Stats, Trace};
 
@@ -272,7 +272,8 @@ impl Kernel {
         p.state = ProcState::Runnable;
         let woken_cpu = p.recent_cpu;
         let now = self.q.now();
-        self.trace.emit(now, || format!("wakeup {pid:?} recent={woken_cpu}"));
+        self.trace
+            .emit(now, || format!("wakeup {pid:?} recent={woken_cpu}"));
         self.sched.enqueue(pid);
         // A process waking from a sleep returns at elevated priority, the
         // classic UNIX discipline — but only while its decayed CPU usage
@@ -404,11 +405,7 @@ impl Kernel {
 
     /// Carries out buffer-cache effects. Returns the synchronous CPU cost
     /// incurred (RAM-disk transfers in process context).
-    pub(crate) fn apply_cache_effects(
-        &mut self,
-        effects: Vec<kbuf::Effect>,
-        ctx: IoCtx,
-    ) -> Dur {
+    pub(crate) fn apply_cache_effects(&mut self, effects: Vec<kbuf::Effect>, ctx: IoCtx) -> Dur {
         let mut sync_cost = Dur::ZERO;
         for e in effects {
             match e {
@@ -559,8 +556,7 @@ impl Kernel {
             DiskUnitKind::Scsi(d) => {
                 let p = d.profile();
                 let per_op = p.per_request + p.avg_rotation / 2;
-                per_op * io.ops as u64
-                    + Dur::for_bytes(io.read + io.written, p.media_bps)
+                per_op * io.ops as u64 + Dur::for_bytes(io.read + io.written, p.media_bps)
             }
             DiskUnitKind::Ram(rd) => rd.copy_cost(((io.read + io.written) as usize).max(512)),
         }
@@ -590,7 +586,8 @@ impl Kernel {
     /// Starts a run chunk for `pid` and schedules its completion.
     fn start_chunk(&mut self, pid: Pid, kind: RunKind, dur: Dur, quantum_left: Dur) {
         let now = self.q.now();
-        self.trace.emit(now, || format!("chunk {pid:?} {kind:?} dur={dur}"));
+        self.trace
+            .emit(now, || format!("chunk {pid:?} {kind:?} dur={dur}"));
         let start = if now > self.cpu.busy_until() {
             now
         } else {
@@ -787,7 +784,8 @@ impl Kernel {
                     }
                     AfterCpu::Sleep(chan) => {
                         let now = self.q.now();
-                        self.trace.emit(now, || format!("sleep {pid:?} on {chan:?}"));
+                        self.trace
+                            .emit(now, || format!("sleep {pid:?} on {chan:?}"));
                         let p = self.procs.must_mut(pid);
                         p.state = ProcState::Sleeping(chan);
                         p.acct.vcsw += 1;
@@ -846,8 +844,7 @@ impl Kernel {
             let cost = self.cfg.machine.callout_dispatch + self.kwork_base_cost(&work);
             self.enqueue_kwork(WorkClass::Soft, cost, work);
         }
-        self.q
-            .schedule(now + self.cfg.machine.tick(), Event::Tick);
+        self.q.schedule(now + self.cfg.machine.tick(), Event::Tick);
     }
 
     /// Base CPU cost of applying a kernel work item (excluding transfer
@@ -863,9 +860,10 @@ impl Kernel {
             KWork::SpliceWrite { .. } => m.splice_handler + m.buf_op,
             KWork::SpliceWriteDone { .. } => m.splice_handler + m.buf_op * 2,
             KWork::SpliceIssueReads { .. } => m.splice_handler,
+            KWork::SpliceStreamPull { .. } => m.splice_handler,
+            KWork::SpliceAppend { .. } => m.splice_handler + m.buf_op,
             KWork::SpliceDevWrite { .. } => m.splice_handler,
             KWork::SpliceSockWrite { .. } => m.splice_handler,
-            KWork::SplicePump { .. } => m.splice_handler,
             KWork::SpliceComplete { .. } => m.signal_delivery,
             KWork::ItimerFire { .. } => m.signal_delivery,
         }
@@ -941,9 +939,9 @@ impl Kernel {
                 let period = self.procs.get(pid).and_then(|p| p.itimer);
                 if let Some(period) = period {
                     let ticks = self.dur_to_ticks(period);
-                    let id =
-                        self.callout
-                            .schedule(self.tick, ticks, KWork::ItimerFire { pid });
+                    let id = self
+                        .callout
+                        .schedule(self.tick, ticks, KWork::ItimerFire { pid });
                     self.itimer_callouts.insert(pid, id);
                 }
             }
@@ -980,7 +978,8 @@ impl Kernel {
             Event::Tick => self.on_tick(),
             Event::DiskIntr { disk, token } => {
                 let now = self.q.now();
-                self.trace.emit(now, || format!("diskintr d{disk} tok{token}"));
+                self.trace
+                    .emit(now, || format!("diskintr d{disk} tok{token}"));
                 let DiskUnitKind::Scsi(d) = &mut self.disks[disk].kind else {
                     panic!("DiskIntr for a RAM disk");
                 };
@@ -1069,7 +1068,11 @@ impl Kernel {
     ///
     /// Panics if the event queue drains (the clock keeps it populated, so
     /// this indicates a broken kernel).
-    pub fn run_until(&mut self, horizon: SimTime, mut pred: impl FnMut(&Kernel) -> bool) -> SimTime {
+    pub fn run_until(
+        &mut self,
+        horizon: SimTime,
+        mut pred: impl FnMut(&Kernel) -> bool,
+    ) -> SimTime {
         loop {
             if pred(self) {
                 return self.q.now();
@@ -1118,4 +1121,3 @@ impl Kernel {
         t
     }
 }
-

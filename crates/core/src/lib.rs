@@ -60,6 +60,7 @@
 //! [`Kernel::kstat`]); see `DESIGN.md` § Observability.
 
 pub mod baselines;
+pub mod endpoint;
 pub mod event;
 pub mod harness;
 pub mod kernel;
@@ -68,6 +69,7 @@ pub mod objects;
 pub mod splice_engine;
 pub mod syscalls;
 
+pub use endpoint::{caps, EndpointCaps, ObjClass};
 pub use harness::KernelBuilder;
 pub use kernel::{Kernel, KernelConfig};
 pub use metrics::{

@@ -99,7 +99,12 @@ pub struct SpliceMetrics {
     pub started: u64,
     /// Transfers completed (SIGIO posted or sleeper woken).
     pub completed: u64,
-    /// Device reads issued across all splices.
+    /// `splice(2)` calls refused before a descriptor was built (bad fds,
+    /// missing endpoint capability, alignment, unconnected socket, …) —
+    /// every rejection funnels through the one helper that counts this.
+    pub rejected: u64,
+    /// Source reads issued across all splices: device block reads plus
+    /// stream pulls (datagrams, framebuffer chunks).
     pub reads_issued: u64,
     /// Reads satisfied from the buffer cache.
     pub read_hits: u64,
@@ -249,6 +254,7 @@ impl MetricsSnapshot {
         let splice = Json::obj()
             .with("started", Json::Num(s.started as f64))
             .with("completed", Json::Num(s.completed as f64))
+            .with("rejected", Json::Num(s.rejected as f64))
             .with("reads_issued", Json::Num(s.reads_issued as f64))
             .with("read_hits", Json::Num(s.read_hits as f64))
             .with("read_backoffs", Json::Num(s.read_backoffs as f64))
@@ -258,10 +264,7 @@ impl MetricsSnapshot {
             .with("sock_send_errs", Json::Num(s.sock_send_errs as f64))
             .with("append_backoffs", Json::Num(s.append_backoffs as f64))
             .with("append_enospc", Json::Num(s.append_enospc as f64))
-            .with(
-                "spans",
-                Json::Arr(s.spans.iter().map(span_json).collect()),
-            );
+            .with("spans", Json::Arr(s.spans.iter().map(span_json).collect()));
         let sc = &self.sched;
         let sched = Json::obj()
             .with("ctx_switches", Json::Num(sc.ctx_switches as f64))
@@ -379,6 +382,7 @@ impl Kernel {
             splice: SpliceMetrics {
                 started: st.get("splice.started"),
                 completed: st.get("splice.completed"),
+                rejected: st.get("splice.rejected"),
                 reads_issued: st.get("splice.reads_issued"),
                 read_hits: st.get("splice.read_hits"),
                 read_backoffs: st.get("splice.read_backoff"),
@@ -442,11 +446,18 @@ mod tests {
         let parsed = Json::parse(&doc.render()).unwrap();
         assert_eq!(parsed, doc);
         assert_eq!(
-            parsed.get("copy").and_then(|c| c.get("copyin_bytes")).and_then(Json::as_u64),
+            parsed
+                .get("copy")
+                .and_then(|c| c.get("copyin_bytes"))
+                .and_then(Json::as_u64),
             Some(0)
         );
         assert_eq!(
-            parsed.get("splice").and_then(|s| s.get("spans")).and_then(Json::as_arr).map(<[Json]>::len),
+            parsed
+                .get("splice")
+                .and_then(|s| s.get("spans"))
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
             Some(0)
         );
     }

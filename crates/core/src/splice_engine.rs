@@ -1,46 +1,55 @@
 //! The splice engine (§5 of the paper).
 //!
-//! A `splice(src_fd, dst_fd, size)` builds a **splice descriptor**: a
-//! self-contained record of everything the transfer needs — source and
-//! destination physical block tables obtained with `bmap`/the allocating
+//! A `splice(src_fd, dst_fd, size)` resolves both descriptors into
+//! [endpoints](crate::endpoint) and builds a **splice descriptor**: a
+//! self-contained record of everything the transfer needs — the source
+//! read plan (a §5.2 physical block table for files, a pull-chunk size
+//! for streams), destination block tables obtained with the allocating
 //! `bmap` (§5.2), watermark counters (§5.2.3), and completion routing
 //! (`FASYNC`/`SIGIO` or a sleeping synchronous caller). "Placing all
 //! necessary information in this descriptor allows I/O to proceed without
 //! requiring the calling process context to be available."
 //!
-//! The data path then runs entirely in kernel completion context:
+//! **One engine loop serves every src×dst pair.** The data path runs
+//! entirely in kernel completion context:
 //!
-//! * **Read side** (§5.2.1) — `bread_call` schedules a device read whose
-//!   `b_iodone` handler ([`crate::event::KWork::SpliceReadDone`]) fires at
-//!   the completion interrupt, and queues the write side *at the head of
-//!   the callout list*.
-//! * **Write side** (§5.2.2) — at softclock, the write handler allocates a
-//!   destination buffer *header* whose data pointer aliases the read
-//!   buffer's data area (no cache-to-cache copy) and issues `bawrite` with
-//!   a completion handler.
-//! * **Flow control** (§5.2.3) — the write-completion handler frees both
-//!   buffers and, "if the number of pending reads and the number of
+//! * **Read side** (§5.2.1) — block sources issue `bread_call`s whose
+//!   `b_iodone` handlers ([`crate::event::KWork::SpliceReadDone`]) fire at
+//!   the completion interrupt; stream sources issue in-kernel pulls
+//!   ([`crate::event::KWork::SpliceStreamPull`]). Both occupy
+//!   pending-read slots.
+//! * **Write side** (§5.2.2) — every arriving [`Block`] occupies a
+//!   pending-write slot and is dispatched to its sink backend: the
+//!   shared-header `bawrite` for aligned file sinks (no cache-to-cache
+//!   copy), the append path for byte streams into files, paced delivery
+//!   for character devices, datagram sends for sockets.
+//! * **Flow control** (§5.2.3) — the common completion tail frees the
+//!   block and, "if the number of pending reads and the number of
 //!   pending writes drop below pre-specified watermarks (currently 3 and
-//!   5 …), will issue up to five additional reads."
+//!   5 …), will issue up to five additional reads" — for *all* sources,
+//!   so a socket-to-file spool stops pulling (datagrams queue in the
+//!   socket buffer) when the disk side backs up.
 //!
-//! Character-device sinks replace the write side with paced device
-//! delivery (the audio DAC's back-pressure is what rate-limits a whole-
-//! file audio splice), and socket endpoints replace block I/O with
-//! datagram forwarding pumps.
+//! Because the accounting is shared, the kstat [`ksim::SpliceSpan`]
+//! lifecycle, gauge samples, and latency digests describe every splice,
+//! including the stream-sourced ones that historically bypassed them.
 
 use std::collections::HashMap;
 
-use kbuf::{BreadOutcome, BufId, SpliceRef};
-use kfs::Ino;
+use kbuf::BufId;
 use khw::CopyKind;
-use knet::{Datagram, SockId};
 use kproc::{Chan, ChanSpace, Errno, Pid, SpliceLen, SyscallRet, WorkClass};
 use ksim::Dur;
 
-use crate::event::{Event, KWork};
+use crate::endpoint::{Block, DstEndpoint, ReadPlan, SrcEndpoint};
+use crate::event::KWork;
 use crate::kernel::{IoCtx, Kernel};
-use crate::objects::{CharDev, FileId, FileObj};
+use crate::objects::{CharDev, FileId};
 use crate::syscalls::{Cont, SyscallOutcome};
+
+/// Pull granularity for stream sources (one datagram or framebuffer
+/// chunk per pending-read slot).
+pub(crate) const STREAM_CHUNK: usize = 8192;
 
 /// The §5.2.3 rate-based flow-control parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,66 +72,51 @@ impl Default for FlowControl {
     }
 }
 
-/// Source endpoint of a splice.
-#[derive(Clone, Copy, Debug)]
-pub(crate) enum Source {
-    /// A regular file: block-table-driven reads.
-    File { disk: usize, ino: Ino },
-    /// A framebuffer character device.
-    Fb { cdev: usize },
-    /// A UDP socket.
-    Sock { sock: SockId },
-}
-
-/// Sink endpoint of a splice.
-#[derive(Clone, Copy, Debug)]
-pub(crate) enum Sink {
-    /// A regular file: shared-header writes.
-    File { disk: usize, ino: Ino },
-    /// A character device (audio/video DAC).
-    Dev { cdev: usize },
-    /// A UDP socket.
-    Sock { sock: SockId },
-}
-
 /// One active splice.
 pub(crate) struct SpliceDesc {
     pub id: u64,
     pub owner: Pid,
     pub fasync: bool,
-    pub src: Source,
-    pub dst: Sink,
+    pub src: SrcEndpoint,
+    pub dst: DstEndpoint,
     /// Bytes this splice will move.
     pub total: u64,
     pub bytes_done: u64,
-    // --- file-source state (§5.2's block tables) ---
-    /// Physical source block per logical splice block.
-    pub src_map: Vec<u64>,
-    /// Bytes of each splice block that belong to the transfer.
-    pub src_lens: Vec<usize>,
-    /// Offset of the transfer within the first block.
-    pub first_boff: usize,
-    /// Physical destination block per logical splice block (file sink).
+    /// How the source side is driven (block table or stream pulls).
+    pub plan: ReadPlan,
+    /// Physical destination block per logical splice block (block sink).
     pub dst_map: Vec<u64>,
+    /// Next block to read (mapped) or next pull sequence number (stream).
     pub next_read: usize,
     pub pending_reads: u32,
     pub pending_writes: u32,
     pub blocks_done: usize,
+    /// Bytes pulled from a stream source so far.
+    pub stream_taken: u64,
     /// Read-side buffers awaiting their write, by logical block.
     pub src_bufs: HashMap<u64, BufId>,
     /// Issue instants of in-flight blocks (latency accounting).
     pub issued_at: HashMap<u64, ksim::SimTime>,
-    // --- socket/framebuffer-source state ---
-    pub dst_sock: Option<SockId>,
-    /// Append cursor for a file sink fed by a pump.
+    /// Append cursor for a byte-stream file sink.
     pub dst_off: u64,
-    pub chunk: usize,
     pub done: bool,
 }
 
 impl SpliceDesc {
-    fn nblocks(&self) -> usize {
-        self.src_map.len()
+    /// Bytes of block `lblk` belonging to a mapped transfer.
+    pub(crate) fn mapped_len(&self, lblk: u64) -> usize {
+        match &self.plan {
+            ReadPlan::Mapped { src_lens, .. } => src_lens[lblk as usize],
+            ReadPlan::Stream { .. } => panic!("mapped_len on a stream splice"),
+        }
+    }
+
+    /// Offset of the transfer within its first block (mapped plans).
+    pub(crate) fn first_boff(&self) -> usize {
+        match &self.plan {
+            ReadPlan::Mapped { first_boff, .. } => *first_boff,
+            ReadPlan::Stream { .. } => 0,
+        }
     }
 }
 
@@ -136,139 +130,97 @@ impl Kernel {
         dfid: FileId,
         len: SpliceLen,
     ) -> SyscallOutcome {
-        let _m = self.cfg.machine.clone();
+        let m = self.cfg.machine.clone();
         let sof = self.files.get(sfid).expect("resolved fid");
         let dof = self.files.get(dfid).expect("resolved fid");
         let fasync = sof.fasync || dof.fasync;
+        let (sobj, dobj) = (sof.obj, dof.obj);
 
-        let src = match sof.obj {
-            FileObj::File { disk, ino } => Source::File { disk, ino },
-            FileObj::Chr { cdev } => match self.cdevs[cdev].dev {
-                CharDev::Fb(_) => Source::Fb { cdev },
-                _ => return self.splice_err(Errno::Enotsup),
-            },
-            FileObj::Sock { sock } => Source::Sock { sock },
+        // An object participates only through a descriptor opened for
+        // that direction: read on the source, write on the sink.
+        if !sof.readable || !dof.writable {
+            return self.splice_reject(Errno::Ebadf);
+        }
+        let src = match self.resolve_src(sobj) {
+            Ok(s) => s,
+            Err(e) => return self.splice_reject(e),
         };
-        let dst = match dof.obj {
-            FileObj::File { disk, ino } => {
-                if !dof.writable {
-                    return self.splice_err(Errno::Ebadf);
-                }
-                Sink::File { disk, ino }
-            }
-            FileObj::Chr { cdev } => match self.cdevs[cdev].dev {
-                CharDev::Audio(_) | CharDev::Video(_) => Sink::Dev { cdev },
-                CharDev::Fb(_) => return self.splice_err(Errno::Enotsup),
-            },
-            FileObj::Sock { sock } => {
-                if self.net.peer(sock).is_none() {
-                    return self.splice_err(Errno::Enotconn);
-                }
-                Sink::Sock { sock }
-            }
+        let dst = match self.resolve_dst(dobj) {
+            Ok(d) => d,
+            Err(e) => return self.splice_reject(e),
         };
 
-        match src {
-            Source::File { disk, ino } => self.splice_from_file(pid, sfid, dfid, disk, ino, dst, len, fasync),
-            Source::Fb { .. } | Source::Sock { .. } => {
-                self.splice_pump_setup(pid, src, dst, len, fasync)
-            }
-        }
-    }
-
-    fn splice_err(&self, e: Errno) -> SyscallOutcome {
-        SyscallOutcome::Done {
-            cpu: self.cfg.machine.syscall,
-            ret: SyscallRet::Err(e),
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn splice_from_file(
-        &mut self,
-        pid: Pid,
-        sfid: FileId,
-        dfid: FileId,
-        sdisk: usize,
-        sino: Ino,
-        dst: Sink,
-        len: SpliceLen,
-        fasync: bool,
-    ) -> SyscallOutcome {
-        let m = self.cfg.machine.clone();
-        let bs = self.cfg.block_size as u64;
-
-        // §5.2: "the size of the source file is determined from
-        // information present in the gnode."
-        let offset = self.files.get(sfid).unwrap().offset;
-        let size = self.disks[sdisk].fs.size(sino);
-        let avail = size.saturating_sub(offset);
-        let total = match len {
-            SpliceLen::Bytes(n) => n.min(avail),
-            SpliceLen::Eof => avail,
-        };
-        if total == 0 {
-            return SyscallOutcome::Done {
-                cpu: m.syscall,
-                ret: SyscallRet::Val(0),
-            };
-        }
-
-        let first_boff = (offset % bs) as usize;
-        if matches!(dst, Sink::File { .. }) {
-            // Whole-block sharing needs aligned endpoints.
-            let dst_off = self.files.get(dfid).unwrap().offset;
-            if first_boff != 0 || !dst_off.is_multiple_of(bs) {
-                return self.splice_err(Errno::Einval);
-            }
-        }
-
-        // §5.2: "The entire list of all physical block numbers comprising
-        // the source file is determined by successive calls to bmap()."
-        let first_lblk = offset / bs;
-        let nblocks = ((first_boff as u64 + total).div_ceil(bs)) as usize;
-        let mut src_map = Vec::with_capacity(nblocks);
-        let mut src_lens = Vec::with_capacity(nblocks);
-        let mut remaining = total;
-        for i in 0..nblocks {
-            let Some(pblk) = self.disks[sdisk].fs.bmap(sino, first_lblk + i as u64) else {
-                // Holes are not spliceable: there is no source block to
-                // read and share.
-                return self.splice_err(Errno::Einval);
-            };
-            src_map.push(pblk);
-            let boff = if i == 0 { first_boff } else { 0 };
-            let take = ((bs as usize) - boff).min(remaining as usize);
-            src_lens.push(take);
-            remaining -= take as u64;
-        }
-        debug_assert_eq!(remaining, 0);
-
-        // Destination mapping via the allocating bmap (§5.2: "a special
-        // version of bmap() is used … which avoids delayed-writes of
-        // freshly allocated, zero-filled blocks").
-        let mut dst_map = Vec::new();
-        if let Sink::File { disk, ino } = dst {
-            let dst_off = self.files.get(dfid).unwrap().offset;
-            let first = dst_off / bs;
-            for i in 0..nblocks {
-                match self.disks[disk].fs.bmap_alloc(ino, first + i as u64) {
-                    Ok(p) => dst_map.push(p),
-                    Err(e) => return self.splice_err(crate::splice_engine::fs_errno(e)),
+        // Resolve the transfer size and build the source read plan.
+        let (total, plan, dst_map, dst_off, mut cpu) = match src {
+            SrcEndpoint::File { disk, ino } => {
+                // §5.2: "the size of the source file is determined from
+                // information present in the gnode."
+                let offset = self.files.get(sfid).unwrap().offset;
+                let avail = self.disks[disk].fs.size(ino).saturating_sub(offset);
+                let total = match len {
+                    SpliceLen::Bytes(n) => n.min(avail),
+                    SpliceLen::Eof => avail,
+                };
+                if total == 0 {
+                    return SyscallOutcome::Done {
+                        cpu: m.syscall,
+                        ret: SyscallRet::Val(0),
+                    };
                 }
+                let plan = match self.prepare_file_source(disk, ino, offset, total) {
+                    Ok(p) => p,
+                    Err(e) => return self.splice_reject(e),
+                };
+                let nblocks = match &plan {
+                    ReadPlan::Mapped { src_map, .. } => src_map.len(),
+                    ReadPlan::Stream { .. } => unreachable!(),
+                };
+                let mut dst_map = Vec::new();
+                if let DstEndpoint::File {
+                    disk: ddisk,
+                    ino: dino,
+                } = dst
+                {
+                    // Whole-block sharing needs aligned endpoints.
+                    let bs = self.cfg.block_size as u64;
+                    let dst_off = self.files.get(dfid).unwrap().offset;
+                    if plan_first_boff(&plan) != 0 || !dst_off.is_multiple_of(bs) {
+                        return self.splice_reject(Errno::Einval);
+                    }
+                    dst_map = match self.prepare_file_sink(ddisk, dino, dst_off, nblocks, total) {
+                        Ok(map) => map,
+                        Err(e) => return self.splice_reject(e),
+                    };
+                    self.files.get_mut(dfid).unwrap().offset += total;
+                }
+                // Advance the source descriptor past the spliced range.
+                self.files.get_mut(sfid).unwrap().offset += total;
+                // Descriptor build cost: the bmap walks plus allocation.
+                let cpu = m.syscall + m.buf_op + Dur::from_us(2) * (nblocks as u64 * 2);
+                (total, plan, dst_map, 0u64, cpu)
             }
-            let fs = &mut self.disks[disk].fs;
-            let new_size = dst_off + total;
-            if new_size > fs.size(ino) {
-                fs.set_size(ino, new_size);
+            SrcEndpoint::Fb { .. } | SrcEndpoint::Sock { .. } => {
+                let SpliceLen::Bytes(total) = len else {
+                    // A stream source has no EOF to reach.
+                    return self.splice_reject(Errno::Einval);
+                };
+                if total == 0 {
+                    return SyscallOutcome::Done {
+                        cpu: m.syscall,
+                        ret: SyscallRet::Val(0),
+                    };
+                }
+                // Byte-stream file sinks append from the current size.
+                let dst_off = match dst {
+                    DstEndpoint::File { disk, ino } => self.disks[disk].fs.size(ino),
+                    _ => 0,
+                };
+                let plan = ReadPlan::Stream {
+                    chunk: STREAM_CHUNK,
+                };
+                (total, plan, Vec::new(), dst_off, m.syscall)
             }
-        }
-
-        // Advance both descriptors past the spliced range.
-        self.files.get_mut(sfid).unwrap().offset += total;
-        if matches!(dst, Sink::File { .. }) {
-            self.files.get_mut(dfid).unwrap().offset += total;
-        }
+        };
 
         let id = self.next_splice;
         self.next_splice += 1;
@@ -276,38 +228,30 @@ impl Kernel {
             id,
             owner: pid,
             fasync,
-            src: Source::File {
-                disk: sdisk,
-                ino: sino,
-            },
+            src,
             dst,
             total,
             bytes_done: 0,
-            src_map,
-            src_lens,
-            first_boff,
+            plan,
             dst_map,
             next_read: 0,
             pending_reads: 0,
             pending_writes: 0,
             blocks_done: 0,
+            stream_taken: 0,
             src_bufs: HashMap::new(),
             issued_at: HashMap::new(),
-            dst_sock: match dst {
-                Sink::Sock { sock } => Some(sock),
-                _ => None,
-            },
-            dst_off: 0,
-            chunk: 0,
+            dst_off,
             done: false,
         };
         self.splices.insert(id, desc);
+        if let SrcEndpoint::Sock { sock } = src {
+            self.sock_splices.insert(sock, id);
+        }
         self.stats.bump("splice.started");
         self.kstat.spans.start(id, self.q.now());
 
-        // Descriptor build cost: the bmap walks plus allocation.
-        let mut cpu = m.syscall + m.buf_op + Dur::from_us(2) * (nblocks as u64 * 2);
-        // Initial reads are issued in the caller's context.
+        // Initial reads/pulls are issued in the caller's context.
         cpu += self.splice_issue_reads(id, IoCtx::Process);
 
         if fasync {
@@ -324,95 +268,15 @@ impl Kernel {
         }
     }
 
-    fn splice_pump_setup(
-        &mut self,
-        pid: Pid,
-        src: Source,
-        dst: Sink,
-        len: SpliceLen,
-        fasync: bool,
-    ) -> SyscallOutcome {
-        let m = self.cfg.machine.clone();
-        if matches!(dst, Sink::Dev { .. }) {
-            // device→device cross-connects are not implemented.
-            return self.splice_err(Errno::Enotsup);
-        }
-        let SpliceLen::Bytes(total) = len else {
-            // A socket or framebuffer has no EOF to reach.
-            return self.splice_err(Errno::Einval);
-        };
-        if total == 0 {
-            return SyscallOutcome::Done {
-                cpu: m.syscall,
-                ret: SyscallRet::Val(0),
-            };
-        }
-        let id = self.next_splice;
-        self.next_splice += 1;
-        let dst_sock = match dst {
-            Sink::Sock { sock } => Some(sock),
-            _ => None,
-        };
-        // File sinks append from the file's current size.
-        let dst_off = match dst {
-            Sink::File { disk, ino } => self.disks[disk].fs.size(ino),
-            _ => 0,
-        };
-        let desc = SpliceDesc {
-            id,
-            owner: pid,
-            fasync,
-            src,
-            dst,
-            total,
-            bytes_done: 0,
-            src_map: Vec::new(),
-            src_lens: Vec::new(),
-            first_boff: 0,
-            dst_map: Vec::new(),
-            next_read: 0,
-            pending_reads: 0,
-            pending_writes: 0,
-            blocks_done: 0,
-            src_bufs: HashMap::new(),
-            issued_at: HashMap::new(),
-            dst_sock,
-            dst_off,
-            chunk: 8192,
-            done: false,
-        };
-        self.splices.insert(id, desc);
-        self.stats.bump("splice.started");
-        self.kstat.spans.start(id, self.q.now());
-        match src {
-            Source::Sock { sock } => {
-                self.sock_splices.insert(sock, id);
-                // Drain anything already queued.
-                if self.net.rcv_ready(sock) {
-                    self.enqueue_kwork(
-                        WorkClass::Soft,
-                        m.splice_handler,
-                        KWork::SplicePump { desc: id },
-                    );
-                }
-            }
-            Source::Fb { .. } => {
-                let cost = m.splice_handler + m.copy_cost(CopyKind::Driver, 8192);
-                self.enqueue_kwork(WorkClass::Soft, cost, KWork::SplicePump { desc: id });
-            }
-            Source::File { .. } => unreachable!(),
-        }
-        if fasync {
-            SyscallOutcome::Done {
-                cpu: m.syscall,
-                ret: SyscallRet::Val(0),
-            }
-        } else {
-            self.conts.insert(pid, Cont::SpliceSync { desc: id });
-            SyscallOutcome::Block {
-                cpu: m.syscall,
-                chan: Chan::new(ChanSpace::Splice, id),
-            }
+    /// The single rejection path for `splice(2)`: every refused endpoint
+    /// combination or bad descriptor is counted (`splice.rejected`) and
+    /// reported from here, whether detected at the syscall layer or
+    /// during endpoint resolution.
+    pub(crate) fn splice_reject(&mut self, e: Errno) -> SyscallOutcome {
+        self.stats.bump("splice.rejected");
+        SyscallOutcome::Done {
+            cpu: self.cfg.machine.syscall,
+            ret: SyscallRet::Err(e),
         }
     }
 
@@ -443,7 +307,7 @@ impl Kernel {
     /// Runs a span-note closure for descriptor `desc`, handing it the
     /// current time and the descriptor's pending-work gauges. A no-op for
     /// descriptors that are already gone (teardown races).
-    fn span_note(
+    pub(crate) fn span_note(
         &mut self,
         desc: u64,
         f: impl FnOnce(&mut ksim::SpliceSpan, ksim::SimTime, u32, u32),
@@ -458,83 +322,73 @@ impl Kernel {
         }
     }
 
-    /// Issues reads up to the batch limit. Returns CPU cost incurred in
-    /// the caller's context (setup path).
+    /// Issues source work — block reads or stream pulls — up to the batch
+    /// limit. Returns CPU cost incurred in the caller's context (setup
+    /// path).
     pub(crate) fn splice_issue_reads(&mut self, id: u64, ctx: IoCtx) -> Dur {
         let m = self.cfg.machine.clone();
-        let bs = self.cfg.block_size as usize;
+        let batch = self.cfg.flow.batch;
         let mut cpu = Dur::ZERO;
         loop {
             let Some(d) = self.splices.get(&id) else {
                 return cpu;
             };
-            if d.done || d.pending_reads >= self.cfg.flow.batch || d.next_read >= d.nblocks() {
+            if d.done || d.pending_reads >= batch {
                 return cpu;
             }
-            let lblk = d.next_read as u64;
-            let pblk = d.src_map[d.next_read];
-            let Source::File { disk, .. } = d.src else {
-                unreachable!("block reads only for file sources")
-            };
-            let dev = self.disks[disk].dev;
-            {
-                let now = self.q.now();
-                let d = self.splices.get_mut(&id).unwrap();
-                d.next_read += 1;
-                d.pending_reads += 1;
-                d.issued_at.insert(lblk, now);
-            }
-
-            let work = KWork::SpliceReadDone {
-                desc: id,
-                lblk,
-                buf: BufId(u32::MAX), // patched below on miss
-            };
-            let sref = SpliceRef { desc: id, lblk };
-            let tag = self.new_iodone(work);
-            let mut fx = Vec::new();
-            let out = self.cache.bread_call(dev, pblk, bs, tag, sref, &mut fx);
-            // Patch the handler with the buffer identity *before* applying
-            // effects: a synchronous (RAM-disk) completion dispatches the
-            // handler during effect application.
-            if let BreadOutcome::Miss(buf) = out {
-                if let Some(KWork::SpliceReadDone { buf: b, .. }) = self.iodone_map.get_mut(&tag)
-                {
-                    *b = buf;
+            match &d.plan {
+                ReadPlan::Mapped { src_map, .. } => {
+                    if d.next_read >= src_map.len() {
+                        return cpu;
+                    }
+                    let lblk = d.next_read as u64;
+                    let pblk = src_map[d.next_read];
+                    let SrcEndpoint::File { disk, .. } = d.src else {
+                        unreachable!("mapped plans come from file sources")
+                    };
+                    let (c, keep_going) = self.file_issue_read(id, lblk, pblk, disk, ctx);
+                    cpu += c;
+                    if !keep_going {
+                        return cpu;
+                    }
                 }
-            }
-            cpu += self.apply_cache_effects(fx, ctx) + m.buf_op;
-            match out {
-                BreadOutcome::Miss(_) => {
+                ReadPlan::Stream { chunk } => {
+                    let chunk = *chunk;
+                    // Claim bound: each outstanding pull claims up to one
+                    // chunk; stop once claims cover the remaining bytes.
+                    let claimed = d.stream_taken + d.pending_reads as u64 * chunk as u64;
+                    if claimed >= d.total {
+                        return cpu;
+                    }
+                    let cost = match d.src {
+                        SrcEndpoint::Sock { sock } => {
+                            // At most one pull per queued datagram; the
+                            // next delivery re-arms via net_rx.
+                            if d.pending_reads as usize >= self.net.rcv_depth(sock) {
+                                return cpu;
+                            }
+                            m.splice_handler + m.udp_packet
+                        }
+                        SrcEndpoint::Fb { .. } => {
+                            m.splice_handler + m.copy_cost(CopyKind::Driver, chunk)
+                        }
+                        SrcEndpoint::File { .. } => {
+                            unreachable!("stream plans come from fb/socket sources")
+                        }
+                    };
+                    let now = self.q.now();
+                    let d = self.splices.get_mut(&id).unwrap();
+                    let lblk = d.next_read as u64;
+                    d.next_read += 1;
+                    d.pending_reads += 1;
+                    d.issued_at.insert(lblk, now);
                     self.stats.bump("splice.reads_issued");
                     self.span_note(id, |s, now, pr, pw| s.note_read_issued(now, pr, pw));
-                }
-                BreadOutcome::Hit(buf) => {
-                    // Already cached: the handler runs straight away.
-                    self.iodone_map.remove(&tag);
-                    self.stats.bump("splice.read_hits");
-                    self.span_note(id, |s, now, pr, pw| s.note_read_hit(now, pr, pw));
                     self.enqueue_kwork(
                         WorkClass::Soft,
-                        m.splice_handler,
-                        KWork::SpliceReadDone {
-                            desc: id,
-                            lblk,
-                            buf,
-                        },
+                        cost,
+                        KWork::SpliceStreamPull { desc: id, lblk },
                     );
-                }
-                BreadOutcome::Busy(_) | BreadOutcome::NoBuffers => {
-                    // Back off a tick and retry.
-                    self.iodone_map.remove(&tag);
-                    let d = self.splices.get_mut(&id).unwrap();
-                    d.next_read -= 1;
-                    d.pending_reads -= 1;
-                    self.stats.bump("splice.read_backoff");
-                    self.span_note(id, |s, _, _, _| s.note_backoff());
-                    self.callout
-                        .schedule(self.tick, 1, KWork::SpliceIssueReads { desc: id });
-                    return cpu;
                 }
             }
         }
@@ -544,55 +398,111 @@ impl Kernel {
 
     pub(crate) fn apply_splice_work(&mut self, work: KWork) {
         match work {
-            KWork::SpliceReadDone { desc, lblk, buf } => self.splice_read_done(desc, lblk, buf),
+            KWork::SpliceReadDone { desc, lblk, buf } => {
+                self.splice_block_arrived(desc, lblk, Block::Buf(buf))
+            }
+            KWork::SpliceStreamPull { desc, lblk } => self.splice_stream_pull(desc, lblk),
             KWork::SpliceWrite {
                 desc,
                 lblk,
                 src_buf,
             } => self.splice_write(desc, lblk, src_buf),
             KWork::SpliceWriteDone { desc, lblk, hdr } => self.splice_write_done(desc, lblk, hdr),
+            KWork::SpliceAppend {
+                desc,
+                lblk,
+                off,
+                data,
+            } => self.splice_append(desc, lblk, off, data),
             KWork::SpliceIssueReads { desc } => {
                 self.splice_issue_reads(desc, IoCtx::Kernel);
             }
             KWork::SpliceDevWrite {
                 desc,
                 lblk,
-                src_buf,
+                src,
                 off,
-            } => self.splice_dev_write(desc, lblk, src_buf, off),
-            KWork::SpliceSockWrite {
-                desc,
-                lblk,
-                src_buf,
-            } => self.splice_sock_write(desc, lblk, src_buf),
-            KWork::SplicePump { desc } => self.splice_pump(desc),
+            } => self.splice_dev_write(desc, lblk, src, off),
+            KWork::SpliceSockWrite { desc, lblk, src } => self.splice_sock_write(desc, lblk, src),
             KWork::SpliceComplete { desc } => self.complete_splice(desc),
             other => panic!("not splice work: {other:?}"),
         }
     }
 
-    fn release_buf(&mut self, buf: BufId) {
+    pub(crate) fn release_buf(&mut self, buf: BufId) {
         let mut fx = Vec::new();
         self.cache.brelse(buf, &mut fx);
         let sync = self.apply_cache_effects(fx, IoCtx::Kernel);
         debug_assert!(sync.is_zero());
     }
 
-    /// §5.2.1: "When a read completes, the read handler is invoked which
-    /// in turn schedules a write by placing a reference to the write
-    /// handler at the head of the system callout list."
-    fn splice_read_done(&mut self, desc: u64, lblk: u64, buf: BufId) {
+    /// Applies one stream pull: take the next chunk from the source and
+    /// hand it to the engine as an arrived block.
+    fn splice_stream_pull(&mut self, desc: u64, lblk: u64) {
+        let now = self.q.now();
+        let Some(d) = self.splices.get(&desc) else {
+            return;
+        };
+        let src = d.src;
+        let remaining = d.total.saturating_sub(d.stream_taken);
+        let want = match &d.plan {
+            ReadPlan::Stream { chunk } => (*chunk as u64).min(remaining) as usize,
+            ReadPlan::Mapped { .. } => panic!("stream pull on a mapped splice"),
+        };
+        if d.done || want == 0 {
+            // The source closed or the target was reached while this pull
+            // was queued; release the slot.
+            let d = self.splices.get_mut(&desc).unwrap();
+            d.pending_reads = d.pending_reads.saturating_sub(1);
+            d.issued_at.remove(&lblk);
+            return;
+        }
+        let payload = match src {
+            SrcEndpoint::Sock { sock } => self.sock_pull(sock, want),
+            SrcEndpoint::Fb { cdev } => Some(self.fb_pull(cdev, now, want)),
+            SrcEndpoint::File { .. } => unreachable!("stream pull from a file"),
+        };
+        let Some(payload) = payload else {
+            // Socket drained between issue and apply; the next delivery
+            // re-arms via net_rx.
+            let d = self.splices.get_mut(&desc).unwrap();
+            d.pending_reads = d.pending_reads.saturating_sub(1);
+            d.issued_at.remove(&lblk);
+            return;
+        };
+        let d = self.splices.get_mut(&desc).unwrap();
+        d.stream_taken += payload.len() as u64;
+        self.splice_block_arrived(desc, lblk, Block::Bytes(payload));
+    }
+
+    /// §5.2.1's read handler, generalized: a source block arrived (from a
+    /// device read or a stream pull). Move it from the pending-read to
+    /// the pending-write column and dispatch it to the sink backend —
+    /// aligned file sinks at the head of the callout list, everything
+    /// else as kernel soft work.
+    fn splice_block_arrived(&mut self, desc: u64, lblk: u64, block: Block) {
+        let m = self.cfg.machine.clone();
         let Some(d) = self.splices.get_mut(&desc) else {
-            self.release_buf(buf);
+            if let Block::Buf(buf) = block {
+                self.release_buf(buf);
+            }
             return;
         };
         d.pending_reads -= 1;
-        d.src_bufs.insert(lblk, buf);
+        d.pending_writes += 1;
+        if let Block::Buf(buf) = &block {
+            d.src_bufs.insert(lblk, *buf);
+        }
+        let len = match &block {
+            Block::Bytes(b) => b.len(),
+            Block::Buf(_) => d.mapped_len(lblk),
+        };
         let dst = d.dst;
-        match dst {
-            Sink::File { .. } => {
-                let d = self.splices.get_mut(&desc).unwrap();
-                d.pending_writes += 1;
+        match (dst, block) {
+            (DstEndpoint::File { .. }, Block::Buf(buf)) => {
+                // §5.2.1: "schedules a write by placing a reference to
+                // the write handler at the head of the system callout
+                // list."
                 self.callout.schedule_head(
                     self.tick,
                     KWork::SpliceWrite {
@@ -602,34 +512,44 @@ impl Kernel {
                     },
                 );
             }
-            Sink::Dev { .. } => {
-                let d = self.splices.get_mut(&desc).unwrap();
-                let len = d.src_lens[lblk as usize];
-                d.pending_writes += 1;
-                let cost = self.cfg.machine.splice_handler
-                    + self.cfg.machine.copy_cost(CopyKind::Driver, len);
+            (DstEndpoint::File { .. }, Block::Bytes(data)) => {
+                // Byte streams append; the cursor advances at dispatch
+                // time so retries and reordered applies keep their slot.
+                let off = d.dst_off;
+                d.dst_off += len as u64;
+                self.enqueue_kwork(
+                    WorkClass::Soft,
+                    m.splice_handler + m.buf_op,
+                    KWork::SpliceAppend {
+                        desc,
+                        lblk,
+                        off,
+                        data,
+                    },
+                );
+            }
+            (DstEndpoint::Dev { .. }, block) => {
+                let cost = m.splice_handler + m.copy_cost(CopyKind::Driver, len);
                 self.enqueue_kwork(
                     WorkClass::Soft,
                     cost,
                     KWork::SpliceDevWrite {
                         desc,
                         lblk,
-                        src_buf: buf,
+                        src: block,
                         off: 0,
                     },
                 );
             }
-            Sink::Sock { .. } => {
-                let d = self.splices.get_mut(&desc).unwrap();
-                d.pending_writes += 1;
-                let cost = self.cfg.machine.splice_handler + self.cfg.machine.udp_packet;
+            (DstEndpoint::Sock { .. }, block) => {
+                let cost = m.splice_handler + m.udp_packet;
                 self.enqueue_kwork(
                     WorkClass::Soft,
                     cost,
                     KWork::SpliceSockWrite {
                         desc,
                         lblk,
-                        src_buf: buf,
+                        src: block,
                     },
                 );
             }
@@ -637,178 +557,23 @@ impl Kernel {
         self.span_note(desc, |s, now, pr, pw| s.note_write_issued(now, pr, pw));
     }
 
-    /// §5.2.2: the write side — allocate a header sharing the read
-    /// buffer's data area and start the asynchronous write.
-    fn splice_write(&mut self, desc: u64, lblk: u64, src_buf: BufId) {
-        let Some(d) = self.splices.get(&desc) else {
-            self.release_buf(src_buf);
-            return;
-        };
-        let Sink::File { disk, .. } = d.dst else {
-            panic!("splice_write with non-file sink")
-        };
-        let dst_pblk = d.dst_map[lblk as usize];
-        let dev = self.disks[disk].dev;
-        let bs = self.cfg.block_size as usize;
-        let data = self.cache.data(src_buf);
-        let sref = SpliceRef { desc, lblk };
-        match self.cache.alloc_shared_header(dev, dst_pblk, data, bs, sref) {
-            Some(hdr) => {
-                self.stats.bump("splice.shared_writes");
-                let tag = self.new_iodone(KWork::SpliceWriteDone { desc, lblk, hdr });
-                let mut fx = Vec::new();
-                self.cache.bawrite_call(hdr, tag, &mut fx);
-                let sync = self.apply_cache_effects(fx, IoCtx::Kernel);
-                debug_assert!(sync.is_zero());
-            }
-            None => {
-                // Destination block busy: retry next tick.
-                self.stats.bump("splice.write_backoff");
-                self.span_note(desc, |s, _, _, _| s.note_backoff());
-                self.callout.schedule(
-                    self.tick,
-                    1,
-                    KWork::SpliceWrite {
-                        desc,
-                        lblk,
-                        src_buf,
-                    },
-                );
-            }
-        }
-    }
-
-    /// §5.2.2–§5.2.3: the write-completion handler frees both buffers and
-    /// refills the read pipeline when both watermarks allow.
-    fn splice_write_done(&mut self, desc: u64, lblk: u64, hdr: BufId) {
-        self.release_buf(hdr);
-        let src_buf = self
-            .splices
-            .get_mut(&desc)
-            .and_then(|d| d.src_bufs.remove(&lblk));
-        if let Some(buf) = src_buf {
-            // "It retrieves a pointer to the source-side buffer … and
-            // frees it by calling brelse()." The source block stays
-            // cached.
-            self.release_buf(buf);
-        }
-        self.splice_block_completed(desc, lblk);
-    }
-
-    /// Device-sink write side: deliver as much of the block as the device
-    /// accepts, honouring its pacing back-pressure; the remainder retries
-    /// via the callout when space drains.
-    fn splice_dev_write(&mut self, desc: u64, lblk: u64, src_buf: BufId, off: usize) {
-        let now = self.q.now();
-        let Some(d) = self.splices.get(&desc) else {
-            self.release_buf(src_buf);
-            return;
-        };
-        let Sink::Dev { cdev } = d.dst else {
-            panic!("splice_dev_write with non-device sink")
-        };
-        let len = d.src_lens[lblk as usize];
-        let want = len - off;
-        let (accepted, retry_at) = match &mut self.cdevs[cdev].dev {
-            CharDev::Audio(a) => {
-                let took = a.write_some(now, want);
-                let retry = if took < want {
-                    Some(a.time_for_space(now, want - took))
-                } else {
-                    None
-                };
-                (took, retry)
-            }
-            CharDev::Video(v) => {
-                v.write(now, want);
-                (want, None)
-            }
-            CharDev::Fb(_) => unreachable!("fb is not a sink"),
-        };
-        if accepted > 0 {
-            self.stats.add("copy.driver_bytes", accepted as u64);
-        }
-        match retry_at {
-            None => {
-                let d = self.splices.get_mut(&desc).unwrap();
-                d.src_bufs.remove(&lblk);
-                self.release_buf(src_buf);
-                self.splice_block_completed(desc, lblk);
-            }
-            Some(at) => {
-                let delay = at.saturating_since(now);
-                let ticks = self.dur_to_ticks(delay);
-                self.stats.bump("splice.dev_backpressure");
-                self.span_note(desc, |s, _, _, _| s.note_backoff());
-                self.callout.schedule(
-                    self.tick,
-                    ticks,
-                    KWork::SpliceDevWrite {
-                        desc,
-                        lblk,
-                        src_buf,
-                        off: off + accepted,
-                    },
-                );
-            }
-        }
-    }
-
-    /// Socket-sink write side: one block becomes one datagram, no user
-    /// copy.
-    fn splice_sock_write(&mut self, desc: u64, lblk: u64, src_buf: BufId) {
-        let now = self.q.now();
-        let Some(d) = self.splices.get(&desc) else {
-            self.release_buf(src_buf);
-            return;
-        };
-        let sock = d.dst_sock.expect("socket sink");
-        let len = d.src_lens[lblk as usize];
-        let boff = if lblk == 0 { d.first_boff } else { 0 };
-        let payload = {
-            let data = self.cache.data(src_buf);
-            let bytes = data.bytes();
-            bytes[boff..boff + len].to_vec()
-        };
-        match self.net.send(now, sock, len) {
-            Ok(tx) => {
-                if let Some(dst) = tx.dst {
-                    let src_addr = self.net.source_addr(sock).expect("socket exists");
-                    self.q.schedule(
-                        tx.arrival.max(now),
-                        Event::NetDeliver {
-                            dst,
-                            dgram: Datagram {
-                                src: src_addr,
-                                data: payload,
-                            },
-                        },
-                    );
-                }
-            }
-            Err(_) => {
-                self.stats.bump("splice.sock_send_err");
-            }
-        }
-        let d = self.splices.get_mut(&desc).unwrap();
-        d.src_bufs.remove(&lblk);
-        self.release_buf(src_buf);
-        self.splice_block_completed(desc, lblk);
-    }
-
-    /// Common completion/flow-control tail of the write side.
-    fn splice_block_completed(&mut self, desc: u64, lblk: u64) {
+    /// Common completion/flow-control tail of the write side, for every
+    /// sink (§5.2.2–§5.2.3).
+    pub(crate) fn splice_block_completed(&mut self, desc: u64, lblk: u64, bytes: u64) {
         let flow = self.cfg.flow;
         let Some(d) = self.splices.get_mut(&desc) else {
             return;
         };
         d.pending_writes -= 1;
         d.blocks_done += 1;
-        let bytes = d.src_lens[lblk as usize] as u64;
         d.bytes_done += bytes;
         let issued = d.issued_at.remove(&lblk);
-        let finished = d.blocks_done == d.nblocks();
-        let refill = !finished && d.pending_reads < flow.lo_reads && d.pending_writes < flow.lo_writes;
+        let finished = match &d.plan {
+            ReadPlan::Mapped { src_map, .. } => d.blocks_done == src_map.len(),
+            ReadPlan::Stream { .. } => d.bytes_done >= d.total,
+        };
+        let refill =
+            !finished && d.pending_reads < flow.lo_reads && d.pending_writes < flow.lo_writes;
         let (pr, pw) = (d.pending_reads, d.pending_writes);
         let now = self.q.now();
         if let Some(span) = self.kstat.spans.get_mut(desc) {
@@ -821,7 +586,9 @@ impl Kernel {
             }
         }
         if let Some(at) = issued {
-            self.kstat.splice_block_latency.record(now.since(at).as_ns());
+            self.kstat
+                .splice_block_latency
+                .record(now.since(at).as_ns());
         }
         if finished {
             let cost = self.cfg.machine.signal_delivery;
@@ -833,191 +600,20 @@ impl Kernel {
         }
     }
 
-    /// Socket/framebuffer source pump: move one chunk toward the sink.
-    fn splice_pump(&mut self, desc: u64) {
-        let now = self.q.now();
-        let m = self.cfg.machine.clone();
-        let Some(d) = self.splices.get(&desc) else {
-            return;
-        };
-        if d.done {
-            return;
-        }
-        let src = d.src;
-        let dst = d.dst;
-        let remaining = d.total - d.bytes_done;
-        let chunk = d.chunk.min(remaining as usize);
-
-        let payload: Option<Vec<u8>> = match src {
-            Source::Sock { sock } => self
-                .net
-                .recv(sock)
-                .ok()
-                .flatten()
-                .map(|dgram| dgram.data),
-            Source::Fb { cdev } => {
-                let CharDev::Fb(fb) = &mut self.cdevs[cdev].dev else {
-                    unreachable!()
-                };
-                Some(fb.read(now, chunk))
-            }
-            Source::File { .. } => unreachable!(),
-        };
-        let Some(payload) = payload else {
-            // Socket empty: the next delivery re-pumps.
-            return;
-        };
-        let n = payload.len().min(remaining as usize) as u64;
-        let payload = payload[..n as usize].to_vec();
-        match dst {
-            Sink::Sock { sock } => {
-                if let Ok(tx) = self.net.send(now, sock, payload.len()) {
-                    if let Some(dst) = tx.dst {
-                        let src_addr = self.net.source_addr(sock).expect("socket exists");
-                        self.q.schedule(
-                            tx.arrival.max(now),
-                            Event::NetDeliver {
-                                dst,
-                                dgram: Datagram {
-                                    src: src_addr,
-                                    data: payload,
-                                },
-                            },
-                        );
-                    }
-                }
-            }
-            Sink::File { disk, ino } => {
-                let off = self.splices[&desc].dst_off;
-                if !self.splice_append_file(disk, ino, off, &payload) {
-                    // Transient cache shortage: put the data back (socket
-                    // sources) and retry at the next tick.
-                    if let Source::Sock { sock } = src {
-                        let src_addr =
-                            self.net.source_addr(sock).unwrap_or(knet::NetAddr {
-                                host: 1,
-                                port: 0,
-                            });
-                        let _ = self.net.requeue_front(
-                            sock,
-                            Datagram {
-                                src: src_addr,
-                                data: payload,
-                            },
-                        );
-                    }
-                    self.stats.bump("splice.append_backoff");
-                    self.span_note(desc, |s, _, _, _| s.note_backoff());
-                    self.callout
-                        .schedule(self.tick, 1, KWork::SplicePump { desc });
-                    return;
-                }
-                let d = self.splices.get_mut(&desc).unwrap();
-                d.dst_off += n;
-            }
-            Sink::Dev { .. } => unreachable!("pump sinks are sockets or files"),
-        }
-        let d = self.splices.get_mut(&desc).unwrap();
-        d.bytes_done += n;
-        let finished = d.bytes_done >= d.total;
-        // A pump chunk is read-and-written in one handler: the gauges are
-        // always zero, but the cumulative counters and timestamps still
-        // describe the transfer's shape.
-        if let Some(span) = self.kstat.spans.get_mut(desc) {
-            span.note_read_issued(now, 0, 0);
-            span.note_write_issued(now, 0, 0);
-            span.note_block_done(now, n, 0, 0);
-            if finished {
-                span.note_drained(now);
-            }
-        }
-        if finished {
-            self.enqueue_kwork(
-                WorkClass::Soft,
-                m.signal_delivery,
-                KWork::SpliceComplete { desc },
-            );
-            return;
-        }
-        // Keep pumping: a framebuffer is always ready; a socket pumps
-        // again if more data is queued (otherwise the next delivery
-        // triggers it).
-        let again = match src {
-            Source::Fb { .. } => true,
-            Source::Sock { sock } => self.net.rcv_ready(sock),
-            Source::File { .. } => unreachable!(),
-        };
-        if again {
-            let cost = match src {
-                Source::Fb { .. } => {
-                    m.splice_handler + m.udp_packet + m.copy_cost(CopyKind::Driver, chunk)
-                }
-                _ => m.splice_handler + m.udp_packet,
-            };
-            self.enqueue_kwork(WorkClass::Soft, cost, KWork::SplicePump { desc });
-        }
-    }
-
-    /// Appends `data` to a file at `off` through the buffer cache, in
-    /// kernel context (no `copyin`; the data is already in the kernel).
-    /// Returns `false` on a transient buffer shortage — the caller must
-    /// retry with the same bytes (block rewrites are idempotent).
-    fn splice_append_file(&mut self, disk: usize, ino: kfs::Ino, off: u64, data: &[u8]) -> bool {
-        let bs = self.cfg.block_size as usize;
-        let dev = self.disks[disk].dev;
-        let mut pos = 0usize;
-        while pos < data.len() {
-            let abs = off + pos as u64;
-            let lblk = abs / bs as u64;
-            let boff = (abs % bs as u64) as usize;
-            let take = (bs - boff).min(data.len() - pos);
-            let existed = self.disks[disk].fs.bmap(ino, lblk).is_some();
-            let Ok(pblk) = self.disks[disk].fs.bmap_alloc(ino, lblk) else {
-                // Out of space: drop the rest (UDP semantics for a
-                // receive-to-file splice).
-                self.stats.bump("splice.append_enospc");
-                return true;
-            };
-            let mut fx = Vec::new();
-            let out = self.cache.getblk(dev, pblk, bs, &mut fx);
-            let sync = self.apply_cache_effects(fx, IoCtx::Kernel);
-            debug_assert!(sync.is_zero());
-            match out {
-                kbuf::GetblkOutcome::Held(buf) => {
-                    let full = boff == 0 && take == bs;
-                    if !full && !existed {
-                        self.cache.data(buf).bytes_mut().fill(0);
-                    }
-                    {
-                        let d = self.cache.data(buf);
-                        let mut bytes = d.bytes_mut();
-                        bytes[boff..boff + take].copy_from_slice(&data[pos..pos + take]);
-                    }
-                    let mut fx = Vec::new();
-                    if full {
-                        self.cache.bawrite(buf, &mut fx);
-                    } else {
-                        self.cache.bdwrite(buf, &mut fx);
-                    }
-                    self.apply_cache_effects(fx, IoCtx::Kernel);
-                }
-                kbuf::GetblkOutcome::Busy(_) | kbuf::GetblkOutcome::NoBuffers => {
-                    return false;
-                }
-            }
-            pos += take;
-            let fs = &mut self.disks[disk].fs;
-            let end = abs + take as u64;
-            if end > fs.size(ino) {
-                fs.set_size(ino, end);
-            }
-        }
-        true
-    }
-
-    /// Forces completion (source closed mid-splice = EOF).
+    /// Source closed mid-splice = EOF: clamp the target to what was
+    /// actually pulled and let in-flight writes drain before completing.
     pub(crate) fn finish_splice_now(&mut self, desc: u64) {
-        self.complete_splice(desc);
+        let Some(d) = self.splices.get_mut(&desc) else {
+            return;
+        };
+        if let ReadPlan::Stream { .. } = d.plan {
+            d.total = d.total.min(d.stream_taken);
+        }
+        if d.pending_writes == 0 && d.bytes_done >= d.total {
+            self.complete_splice(desc);
+        }
+        // Otherwise the last splice_block_completed sees bytes_done reach
+        // the clamped total and completes the splice.
     }
 
     /// Finalisation: `SIGIO` for asynchronous splices (§3), a wakeup for
@@ -1032,12 +628,12 @@ impl Kernel {
         let fasync = d.fasync;
         let dst = d.dst;
         let src = d.src;
-        if let Sink::Dev { cdev } = dst {
+        if let DstEndpoint::Dev { cdev } = dst {
             if let CharDev::Audio(a) = &mut self.cdevs[cdev].dev {
                 a.end_stream(now);
             }
         }
-        if let Source::Sock { sock } = src {
+        if let SrcEndpoint::Sock { sock } = src {
             self.sock_splices.remove(&sock);
         }
         self.stats.bump("splice.completed");
@@ -1052,6 +648,13 @@ impl Kernel {
         } else {
             self.wakeup(Chan::new(ChanSpace::Splice, desc));
         }
+    }
+}
+
+fn plan_first_boff(plan: &ReadPlan) -> usize {
+    match plan {
+        ReadPlan::Mapped { first_boff, .. } => *first_boff,
+        ReadPlan::Stream { .. } => 0,
     }
 }
 

@@ -8,14 +8,12 @@
 //! machine profile's rates — the costs splice exists to remove.
 
 use kbuf::{BreadOutcome, BufId, GetblkOutcome};
-use kfs::{FileKind, FsError, Ino};
 #[allow(unused_imports)]
 use kfs as _kfs_reexport_guard;
+use kfs::{FileKind, FsError, Ino};
 use khw::CopyKind;
 use knet::{Datagram, NetErr, SockId};
-use kproc::{
-    Chan, ChanSpace, Errno, Fd, FcntlCmd, OpenFlags, Pid, Sig, SyscallRet, SyscallReq,
-};
+use kproc::{Chan, ChanSpace, Errno, FcntlCmd, Fd, OpenFlags, Pid, Sig, SyscallReq, SyscallRet};
 use ksim::{Dur, SimTime};
 
 use crate::event::{Event, KWork};
@@ -194,7 +192,9 @@ impl Kernel {
             SyscallReq::Splice { src, dst, len } => {
                 let (Some(sfid), Some(dfid)) = (self.fid_of(pid, src), self.fid_of(pid, dst))
                 else {
-                    return self.err(Errno::Ebadf);
+                    // Same consolidated rejection path as endpoint
+                    // resolution: counted under splice.rejected.
+                    return self.splice_reject(Errno::Ebadf);
                 };
                 self.sys_splice(pid, sfid, dfid, len)
             }
@@ -470,12 +470,10 @@ impl Kernel {
                 }
                 ino
             }
-            Err(FsError::NotFound) if flags.create => {
-                match self.disks[disk].fs.create(&sub) {
-                    Ok(ino) => ino,
-                    Err(e) => return self.err(fs_errno(e)),
-                }
-            }
+            Err(FsError::NotFound) if flags.create => match self.disks[disk].fs.create(&sub) {
+                Ok(ino) => ino,
+                Err(e) => return self.err(fs_errno(e)),
+            },
             Err(e) => return self.err(fs_errno(e)),
         };
         let (fd, _) = self.files.open(
@@ -644,7 +642,8 @@ impl Kernel {
             // Sequential read-ahead (SCSI only; the RAM disk has no
             // latency to hide and read-ahead would only mis-attribute its
             // copy cost).
-            let sequential = lblk == 0 || of.last_lblk == Some(lblk - 1) || of.last_lblk == Some(lblk);
+            let sequential =
+                lblk == 0 || of.last_lblk == Some(lblk - 1) || of.last_lblk == Some(lblk);
             if sequential && !self.disks[disk].kind.is_ram() {
                 if let Some(ra_pblk) = self.disks[disk].fs.bmap(ino, lblk + 1) {
                     let mut fx = Vec::new();
@@ -1038,9 +1037,8 @@ impl Kernel {
         if self.net.rcv_ready(sock) {
             let d = self.net.recv(sock).expect("socket exists").unwrap();
             let n = d.data.len().min(max_len);
-            let cpu = base
-                + self.cfg.machine.udp_packet
-                + self.cfg.machine.copy_cost(CopyKind::Net, n);
+            let cpu =
+                base + self.cfg.machine.udp_packet + self.cfg.machine.copy_cost(CopyKind::Net, n);
             self.stats.add("copy.net_bytes", n as u64);
             return SyscallOutcome::Done {
                 cpu,
@@ -1060,10 +1058,12 @@ impl Kernel {
         match self.net.deliver(dst, dgram) {
             knet::DeliverOutcome::Queued => {
                 if let Some(&desc) = self.sock_splices.get(&dst) {
+                    // Re-arm the unified engine's read side: the arrival
+                    // funds one more stream pull (watermarks permitting).
                     self.enqueue_kwork(
                         kproc::WorkClass::Soft,
                         self.cfg.machine.splice_handler,
-                        KWork::SplicePump { desc },
+                        KWork::SpliceIssueReads { desc },
                     );
                 } else {
                     self.wakeup(Chan::new(ChanSpace::SockRecv, dst.0 as u64));

@@ -134,7 +134,9 @@ fn update_daemon_flushes_delayed_writes() {
         .tune(|cfg| cfg.update_interval = Some(Dur::from_secs(5)))
         .build();
     // Create the file durably first (Writer fsyncs)…
-    let w = k.spawn(Box::new(kproc::programs::Writer::new("/d/f", 1000, 1000, 7)));
+    let w = k.spawn(Box::new(kproc::programs::Writer::new(
+        "/d/f", 1000, 1000, 7,
+    )));
     let horizon = k.horizon(60);
     k.run_until_exit_of(w, horizon);
     // …then dirty a block through a program that never fsyncs.

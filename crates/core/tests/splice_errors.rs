@@ -2,7 +2,7 @@
 
 use khw::DiskProfile;
 use kproc::{
-    Errno, Fd, OpenFlags, ProcState, Program, SpliceLen, Step, SyscallRet, SyscallReq, UserCtx,
+    Errno, Fd, OpenFlags, ProcState, Program, SpliceLen, Step, SyscallReq, SyscallRet, UserCtx,
 };
 use splice::{Kernel, KernelBuilder};
 
@@ -26,7 +26,10 @@ impl SpliceProbe {
         src: &str,
         dst: &str,
         len: SpliceLen,
-    ) -> (SpliceProbe, std::rc::Rc<std::cell::RefCell<Option<SyscallRet>>>) {
+    ) -> (
+        SpliceProbe,
+        std::rc::Rc<std::cell::RefCell<Option<SyscallRet>>>,
+    ) {
         let result = std::rc::Rc::new(std::cell::RefCell::new(None));
         (
             SpliceProbe {
@@ -175,6 +178,36 @@ fn splice_at_eof_returns_zero() {
     probe.src_seek = Some(8_192);
     run_probe(&mut k, probe);
     assert_eq!(result.borrow().clone(), Some(SyscallRet::Val(0)));
+}
+
+#[test]
+fn splice_from_write_only_source_is_ebadf() {
+    // A descriptor opened for writing only cannot feed a splice. This
+    // used to sail past the fd checks and read the file anyway.
+    let mut k = ram_kernel();
+    k.setup_file("/d0/src", 8_192, 6);
+    k.cold_cache();
+    let (mut probe, result) = SpliceProbe::new("/d0/src", "/d1/dst", SpliceLen::Eof);
+    probe.src_flags = OpenFlags::CREATE; // write-only
+    run_probe(&mut k, probe);
+    assert_eq!(result.borrow().clone(), Some(SyscallRet::Err(Errno::Ebadf)));
+    // Every rejection funnels through the consolidated helper and is
+    // counted.
+    assert_eq!(k.metrics().splice.rejected, 1);
+    assert_eq!(k.metrics().splice.started, 0);
+}
+
+#[test]
+fn splice_to_read_only_sink_is_ebadf() {
+    let mut k = ram_kernel();
+    k.setup_file("/d0/src", 8_192, 6);
+    k.setup_file("/d1/dst", 8_192, 6);
+    k.cold_cache();
+    let (mut probe, result) = SpliceProbe::new("/d0/src", "/d1/dst", SpliceLen::Eof);
+    probe.dst_flags = OpenFlags::RDONLY;
+    run_probe(&mut k, probe);
+    assert_eq!(result.borrow().clone(), Some(SyscallRet::Err(Errno::Ebadf)));
+    assert_eq!(k.metrics().splice.rejected, 1);
 }
 
 #[test]
@@ -371,7 +404,7 @@ fn bounded_splices_advance_the_offset() {
 #[test]
 fn socket_to_file_splice_receives_to_disk() {
     // Extension beyond §5.1's list: an in-kernel receive-to-file path.
-    use kproc::programs::{UdpSource};
+    use kproc::programs::UdpSource;
     let mut k = ram_kernel();
     let total = 10u64 * 2048;
 
@@ -434,7 +467,10 @@ fn socket_to_file_splice_receives_to_disk() {
         result: result.clone(),
     }));
     k.spawn(Box::new(UdpSource::new(
-        kproc::SockAddr { host: 1, port: 7100 },
+        kproc::SockAddr {
+            host: 1,
+            port: 7100,
+        },
         2048,
         10,
         ksim::Dur::from_ms(2),

@@ -5,7 +5,7 @@ use kdev::VideoDac;
 use khw::{DiskProfile, SECTOR_SIZE};
 use kproc::programs::{Scp, ScpMode};
 use kproc::{
-    Fd, FcntlCmd, OpenFlags, ProcState, Program, Sig, SpliceLen, Step, SyscallRet, SyscallReq,
+    FcntlCmd, Fd, OpenFlags, ProcState, Program, Sig, SpliceLen, Step, SyscallReq, SyscallRet,
     UserCtx,
 };
 use splice::objects::CharDev;
@@ -95,7 +95,10 @@ fn fasync_on_the_destination_also_makes_the_splice_async() {
     let horizon = k.horizon(120);
     k.run_to_exit(horizon);
     assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
-    assert!(flag.get(), "splice must return immediately with FASYNC on dst");
+    assert!(
+        flag.get(),
+        "splice must return immediately with FASYNC on dst"
+    );
     assert_eq!(k.verify_pattern_file("/d1/dst", MB, 9), None);
 }
 
@@ -134,7 +137,11 @@ fn file_to_video_dac_splice_displays_frames() {
                 }
                 4 => {
                     let ret = ctx.take_ret();
-                    Step::Exit(if ret.as_val() == 8 * FRAME as i64 { 0 } else { 1 })
+                    Step::Exit(if ret.as_val() == 8 * FRAME as i64 {
+                        0
+                    } else {
+                        1
+                    })
                 }
                 _ => Step::Exit(0),
             }

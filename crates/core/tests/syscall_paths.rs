@@ -4,7 +4,7 @@
 use khw::DiskProfile;
 use kproc::programs::util::pattern_bytes;
 use kproc::{
-    Errno, Fd, OpenFlags, ProcState, Program, SpliceLen, Step, SyscallRet, SyscallReq, UserCtx,
+    Errno, Fd, OpenFlags, ProcState, Program, SpliceLen, Step, SyscallReq, SyscallRet, UserCtx,
 };
 use splice::{Kernel, KernelBuilder};
 
@@ -51,7 +51,9 @@ impl Program for Script {
 }
 
 fn ram_kernel() -> Kernel {
-    KernelBuilder::new().disk("d", DiskProfile::ramdisk()).build()
+    KernelBuilder::new()
+        .disk("d", DiskProfile::ramdisk())
+        .build()
 }
 
 fn run_script(k: &mut Kernel, calls: Vec<SyscallReq>) -> Vec<SyscallRet> {
@@ -130,10 +132,19 @@ fn write_then_read_back_with_lseek() {
                 path: "/d/f".into(),
                 flags: OpenFlags::RDONLY,
             },
-            SyscallReq::Lseek { fd: Fd(3), pos: 5_000 },
-            SyscallReq::Read { fd: Fd(3), len: 5_000 },
+            SyscallReq::Lseek {
+                fd: Fd(3),
+                pos: 5_000,
+            },
+            SyscallReq::Read {
+                fd: Fd(3),
+                len: 5_000,
+            },
             // Reading past EOF returns empty.
-            SyscallReq::Read { fd: Fd(3), len: 100 },
+            SyscallReq::Read {
+                fd: Fd(3),
+                len: 100,
+            },
         ],
     );
     assert_eq!(r[1], SyscallRet::Val(10_000));
@@ -156,7 +167,10 @@ fn partial_overwrite_read_modify_write() {
                 path: "/d/f".into(),
                 flags: OpenFlags::WRONLY,
             },
-            SyscallReq::Lseek { fd: Fd(3), pos: 9_000 },
+            SyscallReq::Lseek {
+                fd: Fd(3),
+                pos: 9_000,
+            },
             SyscallReq::Write {
                 fd: Fd(3),
                 data: vec![0xAA; 100],
@@ -207,12 +221,16 @@ fn unlink_and_enoent_after() {
     let r = run_script(
         &mut k,
         vec![
-            SyscallReq::Unlink { path: "/d/f".into() },
+            SyscallReq::Unlink {
+                path: "/d/f".into(),
+            },
             SyscallReq::Open {
                 path: "/d/f".into(),
                 flags: OpenFlags::RDONLY,
             },
-            SyscallReq::Unlink { path: "/d/f".into() },
+            SyscallReq::Unlink {
+                path: "/d/f".into(),
+            },
         ],
     );
     assert_eq!(r[0], SyscallRet::Val(0));
@@ -242,10 +260,7 @@ fn read_from_writeonly_fd_fails() {
 #[test]
 fn gettime_advances() {
     let mut k = ram_kernel();
-    let r = run_script(
-        &mut k,
-        vec![SyscallReq::GetTime, SyscallReq::GetTime],
-    );
+    let r = run_script(&mut k, vec![SyscallReq::GetTime, SyscallReq::GetTime]);
     let (SyscallRet::Time(a), SyscallRet::Time(b)) = (&r[0], &r[1]) else {
         panic!("{r:?}")
     };
@@ -264,8 +279,14 @@ fn socket_errors() {
                 data: vec![0; 10],
             }, // not connected
             SyscallReq::Socket,
-            SyscallReq::Bind { fd: Fd(4), port: 80 },
-            SyscallReq::Bind { fd: Fd(3), port: 80 }, // port in use
+            SyscallReq::Bind {
+                fd: Fd(4),
+                port: 80,
+            },
+            SyscallReq::Bind {
+                fd: Fd(3),
+                port: 80,
+            }, // port in use
         ],
     );
     assert_eq!(r[1], SyscallRet::Err(Errno::Enotconn));
@@ -349,7 +370,10 @@ fn closing_spliced_socket_source_completes_the_splice() {
                 1 => {
                     self.sock = ctx.take_ret().as_fd();
                     self.st = 2;
-                    Step::Syscall(SyscallReq::Bind { fd: self.sock.unwrap(), port: 9 })
+                    Step::Syscall(SyscallReq::Bind {
+                        fd: self.sock.unwrap(),
+                        port: 9,
+                    })
                 }
                 2 => {
                     ctx.take_ret();
@@ -362,7 +386,10 @@ fn closing_spliced_socket_source_completes_the_splice() {
                 3 => {
                     self.file = ctx.take_ret().as_fd();
                     self.st = 4;
-                    Step::Syscall(SyscallReq::Sigaction { sig: Sig::Io, catch: true })
+                    Step::Syscall(SyscallReq::Sigaction {
+                        sig: Sig::Io,
+                        catch: true,
+                    })
                 }
                 4 => {
                     ctx.take_ret();
@@ -403,7 +430,11 @@ fn closing_spliced_socket_source_completes_the_splice() {
             }
         }
     }
-    let pid = k.spawn(Box::new(P { st: 0, sock: None, file: None }));
+    let pid = k.spawn(Box::new(P {
+        st: 0,
+        sock: None,
+        file: None,
+    }));
     let horizon = k.horizon(60);
     k.run_to_exit(horizon);
     assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));

@@ -29,7 +29,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(iters_per_sample: u64) -> Bencher {
-        Bencher { samples: Vec::new(), iters_per_sample }
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample,
+        }
     }
 
     /// Times `routine`, called in a loop per sample.
@@ -108,7 +111,11 @@ impl Criterion {
 
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), sample_count: self.sample_count, _parent: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_count: self.sample_count,
+            _parent: self,
+        }
     }
 }
 

@@ -474,7 +474,8 @@ impl Cache {
     fn write_common(&mut self, id: BufId) -> (DevId, u64, usize) {
         let b = self.buf_mut(id);
         assert!(b.flags.contains(BufFlags::BUSY), "write of unheld buffer");
-        b.flags.remove(BufFlags::DELWRI | BufFlags::DONE | BufFlags::READ);
+        b.flags
+            .remove(BufFlags::DELWRI | BufFlags::DONE | BufFlags::READ);
         (
             b.dev.expect("write needs a device identity"),
             b.blkno,
@@ -829,7 +830,9 @@ mod tests {
         effects
             .iter()
             .filter_map(|e| match e {
-                Effect::StartIo { buf, dir, blkno, .. } => Some((*buf, *dir, *blkno)),
+                Effect::StartIo {
+                    buf, dir, blkno, ..
+                } => Some((*buf, *dir, *blkno)),
                 _ => None,
             })
             .collect()

@@ -1,7 +1,6 @@
 //! Property tests: random buffer-cache operation sequences against a
 //! reference model, with structural invariants checked after every step.
 
-
 // Compiled only with `cargo test --features props` (hermetic default
 // builds skip the property suites).
 #![cfg(feature = "props")]

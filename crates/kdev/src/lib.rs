@@ -348,7 +348,7 @@ mod tests {
     fn audio_underrun_detection() {
         let mut dac = AudioDac::new(8_000, 64 * 1024);
         dac.write(t(0), 800); // 100 ms of audio
-        // Next write arrives late: the buffer ran dry in between.
+                              // Next write arrives late: the buffer ran dry in between.
         dac.can_write(t(500), 800);
         dac.write(t(500), 800);
         assert_eq!(dac.underruns(), 1);

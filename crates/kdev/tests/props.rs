@@ -1,7 +1,6 @@
 //! Property tests for the character devices: conservation and pacing
 //! invariants of the audio DAC under arbitrary write schedules.
 
-
 // Compiled only with `cargo test --features props` (hermetic default
 // builds skip the property suites).
 #![cfg(feature = "props")]

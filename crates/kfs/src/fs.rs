@@ -262,7 +262,10 @@ impl Fs {
             return Err(FsError::BadName);
         }
         let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
-        if comps.iter().any(|c| c.len() > 255 || *c == "." || *c == "..") {
+        if comps
+            .iter()
+            .any(|c| c.len() > 255 || *c == "." || *c == "..")
+        {
             return Err(FsError::BadName);
         }
         Ok(comps)

@@ -54,7 +54,8 @@ pub fn fsck(store: &SparseStore) -> FsckReport {
     let mut refs: HashMap<u64, String> = HashMap::new();
     let mut claim = |rep: &mut FsckReport, blk: u64, what: String| {
         if blk < sb.data_start || blk >= sb.total_blocks {
-            rep.errors.push(format!("{what}: block {blk} out of data range"));
+            rep.errors
+                .push(format!("{what}: block {blk} out of data range"));
             return;
         }
         if let Some(prev) = refs.insert(blk, what.clone()) {
@@ -83,7 +84,7 @@ pub fn fsck(store: &SparseStore) -> FsckReport {
             FileKind::File => rep.files += 1,
             FileKind::Dir => rep.dirs += 1,
         }
-        
+
         let mut mapped_blocks = 0u64;
         for &d in raw.direct.iter().filter(|&&d| d != 0) {
             claim(&mut rep, d, format!("inode {i} direct"));
@@ -91,14 +92,20 @@ pub fn fsck(store: &SparseStore) -> FsckReport {
         }
         if raw.indirect != 0 {
             claim(&mut rep, raw.indirect, format!("inode {i} indirect"));
-            for &pb in read_ptrs(store, &sb, raw.indirect).iter().filter(|&&b| b != 0) {
+            for &pb in read_ptrs(store, &sb, raw.indirect)
+                .iter()
+                .filter(|&&b| b != 0)
+            {
                 claim(&mut rep, pb, format!("inode {i} ind data"));
                 mapped_blocks += 1;
             }
         }
         if raw.dindirect != 0 {
             claim(&mut rep, raw.dindirect, format!("inode {i} dindirect"));
-            for &l1 in read_ptrs(store, &sb, raw.dindirect).iter().filter(|&&b| b != 0) {
+            for &l1 in read_ptrs(store, &sb, raw.dindirect)
+                .iter()
+                .filter(|&&b| b != 0)
+            {
                 claim(&mut rep, l1, format!("inode {i} dind l1"));
                 for &pb in read_ptrs(store, &sb, l1).iter().filter(|&&b| b != 0) {
                     claim(&mut rep, pb, format!("inode {i} dind data"));
@@ -111,7 +118,8 @@ pub fn fsck(store: &SparseStore) -> FsckReport {
         // are fine, trailing *blocks* are a leak).
         let max_bytes = sb.max_file_blocks() * bs;
         if raw.size > max_bytes {
-            rep.errors.push(format!("inode {i}: size {} too large", raw.size));
+            rep.errors
+                .push(format!("inode {i}: size {} too large", raw.size));
         }
         let size_blocks = raw.size.div_ceil(bs);
         if mapped_blocks > size_blocks {
@@ -127,7 +135,8 @@ pub fn fsck(store: &SparseStore) -> FsckReport {
     let used = |blk: u64| bitmap[(blk / 8) as usize] & (1 << (blk % 8)) != 0;
     for b in 0..sb.data_start {
         if !used(b) {
-            rep.errors.push(format!("metadata block {b} not marked used"));
+            rep.errors
+                .push(format!("metadata block {b} not marked used"));
         }
     }
     for (&blk, what) in &refs {
@@ -138,7 +147,8 @@ pub fn fsck(store: &SparseStore) -> FsckReport {
     }
     for b in sb.data_start..sb.total_blocks {
         if used(b) && !refs.contains_key(&b) {
-            rep.errors.push(format!("block {b} marked used but unreferenced"));
+            rep.errors
+                .push(format!("block {b} marked used but unreferenced"));
         }
     }
 
@@ -182,8 +192,10 @@ pub fn fsck(store: &SparseStore) -> FsckReport {
         };
         for (name, ino) in contents.iter() {
             let Some(kind) = kinds.get(&ino) else {
-                rep.errors
-                    .push(format!("dir {} entry '{name}' -> free inode {}", d.0, ino.0));
+                rep.errors.push(format!(
+                    "dir {} entry '{name}' -> free inode {}",
+                    d.0, ino.0
+                ));
                 continue;
             };
             *dir_refs.entry(ino).or_insert(0) += 1;

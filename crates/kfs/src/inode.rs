@@ -124,8 +124,14 @@ mod tests {
 
     #[test]
     fn filekind_roundtrip() {
-        assert_eq!(FileKind::from_raw(FileKind::File.to_raw()), Some(FileKind::File));
-        assert_eq!(FileKind::from_raw(FileKind::Dir.to_raw()), Some(FileKind::Dir));
+        assert_eq!(
+            FileKind::from_raw(FileKind::File.to_raw()),
+            Some(FileKind::File)
+        );
+        assert_eq!(
+            FileKind::from_raw(FileKind::Dir.to_raw()),
+            Some(FileKind::Dir)
+        );
         assert_eq!(FileKind::from_raw(0), None);
         assert_eq!(FileKind::from_raw(99), None);
     }

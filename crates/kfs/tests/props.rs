@@ -2,7 +2,6 @@
 //! `fsck` and remount as oracles after every generated operation
 //! sequence.
 
-
 // Compiled only with `cargo test --features props` (hermetic default
 // builds skip the property suites).
 #![cfg(feature = "props")]

@@ -198,7 +198,10 @@ impl Disk {
         let frac = (dist as f64 / self.profile.sectors as f64).min(1.0);
         // Average seek corresponds to a one-third-stroke move.
         let scale = (frac * 3.0).sqrt().min(1.5);
-        let var = self.profile.avg_seek.saturating_sub(self.profile.track_seek);
+        let var = self
+            .profile
+            .avg_seek
+            .saturating_sub(self.profile.track_seek);
         self.profile.track_seek + Dur::from_ns((var.as_ns() as f64 * scale) as u64)
     }
 
@@ -221,7 +224,10 @@ impl Disk {
         len: usize,
         data: Option<Vec<u8>>,
     ) -> Option<Started> {
-        assert!(len > 0 && len.is_multiple_of(SECTOR_SIZE), "unaligned length {len}");
+        assert!(
+            len > 0 && len.is_multiple_of(SECTOR_SIZE),
+            "unaligned length {len}"
+        );
         let nsec = (len / SECTOR_SIZE) as u64;
         assert!(
             sector + nsec <= self.profile.sectors,
@@ -259,7 +265,10 @@ impl Disk {
     /// Panics if no request is active or the interrupt fired at the wrong
     /// time (kernel/driver bug).
     pub fn complete(&mut self, now: SimTime) -> (IoDone, Option<Started>) {
-        let (finish, done) = self.active.take().expect("completion without active request");
+        let (finish, done) = self
+            .active
+            .take()
+            .expect("completion without active request");
         assert_eq!(finish, now, "completion interrupt at the wrong time");
         let next = self.start_next(now);
         (done, next)
@@ -371,9 +380,7 @@ impl Disk {
                 };
                 if self.windows.len() < self.profile.cache_segments.max(1) {
                     self.windows.push(w);
-                } else if let Some(victim) =
-                    self.windows.iter_mut().min_by_key(|w| w.last_used)
-                {
+                } else if let Some(victim) = self.windows.iter_mut().min_by_key(|w| w.last_used) {
                     *victim = w;
                 }
             }
@@ -450,7 +457,13 @@ mod tests {
 
     /// Runs one request to completion on an idle drive, returning
     /// `(finish, done)`.
-    fn run_one(d: &mut Disk, now: SimTime, op: IoOp, sector: u64, data: Option<Vec<u8>>) -> (SimTime, IoDone) {
+    fn run_one(
+        d: &mut Disk,
+        now: SimTime,
+        op: IoOp,
+        sector: u64,
+        data: Option<Vec<u8>>,
+    ) -> (SimTime, IoDone) {
         let started = d.submit(now, 1, op, sector, BLK, data).expect("idle drive");
         let (done, next) = d.complete(started.finish);
         assert!(next.is_none());
@@ -529,9 +542,13 @@ mod tests {
     #[test]
     fn busy_drive_queues_and_completes_in_turn() {
         let mut d = Disk::new(DiskProfile::rz56());
-        let s1 = d.submit(SimTime::ZERO, 1, IoOp::Read, 0, BLK, None).unwrap();
+        let s1 = d
+            .submit(SimTime::ZERO, 1, IoOp::Read, 0, BLK, None)
+            .unwrap();
         // Second request queues while the first transfers.
-        assert!(d.submit(SimTime::ZERO, 2, IoOp::Read, 1_000_000, BLK, None).is_none());
+        assert!(d
+            .submit(SimTime::ZERO, 2, IoOp::Read, 1_000_000, BLK, None)
+            .is_none());
         assert_eq!(d.queue_depth(), 1);
         let (done1, next) = d.complete(s1.finish);
         assert_eq!(done1.token, 1);
@@ -555,7 +572,14 @@ mod tests {
             .unwrap();
         for i in (1..=5u64).rev() {
             assert!(d
-                .submit(SimTime::ZERO, i, IoOp::Write, i * 16, BLK, Some(data.clone()))
+                .submit(
+                    SimTime::ZERO,
+                    i,
+                    IoOp::Write,
+                    i * 16,
+                    BLK,
+                    Some(data.clone())
+                )
                 .is_none());
         }
         let mut order = Vec::new();
@@ -570,7 +594,11 @@ mod tests {
             next = n;
         }
         assert_eq!(order, vec![1, 2, 3, 4, 5], "elevator order");
-        assert_eq!(d.stats().mechanical, 0, "every write streams in elevator order");
+        assert_eq!(
+            d.stats().mechanical,
+            0,
+            "every write streams in elevator order"
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ impl RamDisk {
     ///
     /// Panics on unaligned or out-of-range requests.
     pub fn read(&mut self, sector: u64, len: usize) -> (Vec<u8>, Dur) {
-        assert!(len > 0 && len.is_multiple_of(SECTOR_SIZE), "unaligned length {len}");
+        assert!(
+            len > 0 && len.is_multiple_of(SECTOR_SIZE),
+            "unaligned length {len}"
+        );
         let data = self.store.read_vec(sector * SECTOR_SIZE as u64, len);
         self.stats.requests += 1;
         self.stats.bytes += len as u64;

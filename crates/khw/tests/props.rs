@@ -1,7 +1,6 @@
 //! Property tests for the disk model: service discipline, timing sanity,
 //! and data integrity under arbitrary request interleavings.
 
-
 // Compiled only with `cargo test --features props` (hermetic default
 // builds skip the property suites).
 #![cfg(feature = "props")]

@@ -292,7 +292,15 @@ impl Net {
 
     /// True if a `recv` would succeed immediately.
     pub fn rcv_ready(&self, id: SockId) -> bool {
-        self.sock(id).map(|s| !s.rcv_queue.is_empty()).unwrap_or(false)
+        self.sock(id)
+            .map(|s| !s.rcv_queue.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Datagrams queued on the receive side. Splice stream sources use
+    /// this to issue at most one in-kernel pull per queued datagram.
+    pub fn rcv_depth(&self, id: SockId) -> usize {
+        self.sock(id).map(|s| s.rcv_queue.len()).unwrap_or(0)
     }
 
     /// Bytes queued on the receive side.
@@ -343,7 +351,14 @@ mod tests {
     fn unbound_destination_drops() {
         let mut net = Net::new();
         let a = net.socket(HOST);
-        net.connect(a, NetAddr { host: HOST, port: 99 }).unwrap();
+        net.connect(
+            a,
+            NetAddr {
+                host: HOST,
+                port: 99,
+            },
+        )
+        .unwrap();
         let tx = net.send(SimTime::ZERO, a, 10).unwrap();
         assert_eq!(tx.dst, None);
         assert_eq!(net.stats().dropped, 1);
@@ -355,7 +370,10 @@ mod tests {
         net.set_rcv_limit(150);
         let (_a, b) = pair(&mut net, 9);
         let big = Datagram {
-            src: NetAddr { host: HOST, port: 0 },
+            src: NetAddr {
+                host: HOST,
+                port: 0,
+            },
             data: vec![0; 100],
         };
         assert_eq!(net.deliver(b, big.clone()), DeliverOutcome::Queued);
@@ -396,7 +414,10 @@ mod tests {
         net.connect(a, NetAddr { host: 2, port: 7 }).unwrap();
         let t1 = net.send(SimTime::ZERO, a, 1250).unwrap(); // 1ms wire at 10 Mbit
         let t2 = net.send(SimTime::ZERO, a, 1250).unwrap();
-        assert!(t2.arrival > t1.arrival, "link serialises back-to-back sends");
+        assert!(
+            t2.arrival > t1.arrival,
+            "link serialises back-to-back sends"
+        );
         assert!(t1.arrival >= SimTime::ZERO + Dur::from_us(2000)); // wire + latency
     }
 
@@ -414,15 +435,31 @@ mod tests {
     fn requeue_front_preserves_order_and_accounting() {
         let mut net = Net::new();
         let (_a, b) = pair(&mut net, 9);
-        let d1 = Datagram { src: NetAddr { host: HOST, port: 0 }, data: vec![1; 10] };
-        let d2 = Datagram { src: NetAddr { host: HOST, port: 0 }, data: vec![2; 10] };
+        let d1 = Datagram {
+            src: NetAddr {
+                host: HOST,
+                port: 0,
+            },
+            data: vec![1; 10],
+        };
+        let d2 = Datagram {
+            src: NetAddr {
+                host: HOST,
+                port: 0,
+            },
+            data: vec![2; 10],
+        };
         net.deliver(b, d1.clone());
         net.deliver(b, d2.clone());
         let got = net.recv(b).unwrap().unwrap();
         assert_eq!(got, d1);
         net.requeue_front(b, got).unwrap();
         assert_eq!(net.rcv_used(b), 20);
-        assert_eq!(net.recv(b).unwrap().unwrap(), d1, "requeued dgram comes first");
+        assert_eq!(
+            net.recv(b).unwrap().unwrap(),
+            d1,
+            "requeued dgram comes first"
+        );
         assert_eq!(net.recv(b).unwrap().unwrap(), d2);
     }
 

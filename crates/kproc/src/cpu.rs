@@ -99,7 +99,11 @@ impl CpuEngine {
     }
 
     fn run(&mut self, now: SimTime, cost: Dur) -> KernelRun {
-        let start = if now > self.busy_until { now } else { self.busy_until };
+        let start = if now > self.busy_until {
+            now
+        } else {
+            self.busy_until
+        };
         let end = start + cost;
         self.busy_until = end;
         KernelRun { start, end }
@@ -140,7 +144,8 @@ impl CpuEngine {
 
     /// Total kernel time consumed so far (all classes).
     pub fn kernel_time(&self) -> Dur {
-        self.stats.get_dur("cpu.intr") + self.stats.get_dur("cpu.soft")
+        self.stats.get_dur("cpu.intr")
+            + self.stats.get_dur("cpu.soft")
             + self.stats.get_dur("cpu.idle_soft")
     }
 }

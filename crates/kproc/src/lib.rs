@@ -39,6 +39,6 @@ pub use process::{ProcState, ProcTable, Process};
 pub use program::{Program, Step, UserCtx};
 pub use sched::{CurrentRun, RunKind, Scheduler};
 pub use types::{
-    Chan, ChanSpace, Errno, Fd, FcntlCmd, OpenFlags, Pid, Sig, SockAddr, SpliceArgs, SpliceLen,
-    SyscallRet, SyscallReq,
+    Chan, ChanSpace, Errno, FcntlCmd, Fd, OpenFlags, Pid, Sig, SockAddr, SpliceArgs, SpliceLen,
+    SyscallReq, SyscallRet,
 };

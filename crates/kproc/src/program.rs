@@ -11,7 +11,7 @@
 
 use ksim::{Dur, SimTime};
 
-use crate::types::{Sig, SpliceArgs, SyscallRet, SyscallReq};
+use crate::types::{Sig, SpliceArgs, SyscallReq, SyscallRet};
 
 /// What a program does next.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,7 +54,9 @@ impl UserCtx {
     ///
     /// Panics if the previous step was not a syscall.
     pub fn take_ret(&mut self) -> SyscallRet {
-        self.ret.take().expect("program state expected a syscall return")
+        self.ret
+            .take()
+            .expect("program state expected a syscall return")
     }
 
     /// True if `sig` was delivered since the last step.

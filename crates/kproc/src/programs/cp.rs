@@ -9,7 +9,7 @@
 use ksim::Dur;
 
 use crate::program::{Program, Step, UserCtx};
-use crate::types::{Fd, OpenFlags, SyscallRet, SyscallReq};
+use crate::types::{Fd, OpenFlags, SyscallReq, SyscallRet};
 
 #[derive(Debug)]
 enum St {
@@ -217,11 +217,19 @@ mod tests {
         ctx.ret = Some(SyscallRet::NewFd(Fd(3)));
 
         let s = cp.step(&mut ctx);
-        assert!(matches!(s, Step::Syscall(SyscallReq::Open { ref path, flags }) if path == "/dst" && flags.create));
+        assert!(
+            matches!(s, Step::Syscall(SyscallReq::Open { ref path, flags }) if path == "/dst" && flags.create)
+        );
         ctx.ret = Some(SyscallRet::NewFd(Fd(4)));
 
         let s = cp.step(&mut ctx);
-        assert!(matches!(s, Step::Syscall(SyscallReq::Read { fd: Fd(3), len: 8192 })));
+        assert!(matches!(
+            s,
+            Step::Syscall(SyscallReq::Read {
+                fd: Fd(3),
+                len: 8192
+            })
+        ));
 
         // One block, then EOF.
         ctx.ret = Some(SyscallRet::Data(vec![9u8; 8192]));

@@ -1,0 +1,273 @@
+//! A generic splice driver for arbitrary endpoint pairs.
+//!
+//! [`EndpointPair`] opens any two splice endpoints — filesystem paths
+//! (including character devices like `/dev/fb0` or `/dev/audio`), bound
+//! sockets, or connected sockets — and issues one `splice(2)` between
+//! them, recording the raw [`SyscallRet`]. The endpoint-matrix tests and
+//! the `endpoint_matrix` bench both drive every supported (and every
+//! rejected) source×destination combination through this one program.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::program::{Program, Step, UserCtx};
+use crate::types::{Fd, OpenFlags, SockAddr, SpliceArgs, SpliceLen, SyscallReq, SyscallRet};
+
+/// How to materialise one end of the splice.
+#[derive(Clone, Debug)]
+pub enum EndSpec {
+    /// `open(path, flags)` — regular files and character devices alike.
+    File {
+        /// Path to open.
+        path: String,
+        /// Open mode; sources want `RDONLY`, file sinks `CREATE`.
+        flags: OpenFlags,
+    },
+    /// `socket()` + `bind(port)` — a datagram receive endpoint.
+    SockBind {
+        /// Local port to bind.
+        port: u16,
+    },
+    /// `socket()` + `connect(addr)` — a datagram send endpoint.
+    SockConnect {
+        /// Remote peer.
+        addr: SockAddr,
+    },
+}
+
+impl EndSpec {
+    /// Shorthand for a read-only file (or device) source.
+    pub fn read(path: &str) -> EndSpec {
+        EndSpec::File {
+            path: path.into(),
+            flags: OpenFlags::RDONLY,
+        }
+    }
+
+    /// Shorthand for a created (write-only) file sink.
+    pub fn create(path: &str) -> EndSpec {
+        EndSpec::File {
+            path: path.into(),
+            flags: OpenFlags::CREATE,
+        }
+    }
+
+    /// Shorthand for a write-only device sink.
+    pub fn write(path: &str) -> EndSpec {
+        EndSpec::File {
+            path: path.into(),
+            flags: OpenFlags::WRONLY,
+        }
+    }
+
+    fn first_call(&self) -> SyscallReq {
+        match self {
+            EndSpec::File { path, flags } => SyscallReq::Open {
+                path: path.clone(),
+                flags: *flags,
+            },
+            EndSpec::SockBind { .. } | EndSpec::SockConnect { .. } => SyscallReq::Socket,
+        }
+    }
+
+    fn second_call(&self, fd: Fd) -> Option<SyscallReq> {
+        match self {
+            EndSpec::File { .. } => None,
+            EndSpec::SockBind { port } => Some(SyscallReq::Bind { fd, port: *port }),
+            EndSpec::SockConnect { addr } => Some(SyscallReq::Connect { fd, addr: *addr }),
+        }
+    }
+}
+
+/// Shared cell the splice result lands in.
+pub type ResultCell = Rc<RefCell<Option<SyscallRet>>>;
+
+/// Opens `src` and `dst` per their [`EndSpec`]s, splices `len` between
+/// them, and exits. Setup failures exit with status 2; the splice result
+/// itself — success or errno — is recorded, never fatal.
+pub struct EndpointPair {
+    src: EndSpec,
+    dst: EndSpec,
+    len: SpliceLen,
+    fsync_dst: bool,
+    st: u32,
+    src_fd: Option<Fd>,
+    dst_fd: Option<Fd>,
+    result: ResultCell,
+}
+
+impl EndpointPair {
+    /// Build the program plus the cell its splice result will appear in.
+    pub fn new(src: EndSpec, dst: EndSpec, len: SpliceLen) -> (EndpointPair, ResultCell) {
+        let result: ResultCell = Rc::new(RefCell::new(None));
+        (
+            EndpointPair {
+                src,
+                dst,
+                len,
+                fsync_dst: false,
+                st: 0,
+                src_fd: None,
+                dst_fd: None,
+                result: result.clone(),
+            },
+            result,
+        )
+    }
+
+    /// `fsync` the destination after the splice (file sinks only).
+    pub fn with_fsync(mut self) -> EndpointPair {
+        self.fsync_dst = true;
+        self
+    }
+}
+
+impl Program for EndpointPair {
+    fn step(&mut self, ctx: &mut UserCtx) -> Step {
+        match self.st {
+            0 => {
+                self.st = 1;
+                Step::Syscall(self.src.first_call())
+            }
+            1 => {
+                self.src_fd = ctx.take_ret().as_fd();
+                let Some(fd) = self.src_fd else {
+                    return Step::Exit(2);
+                };
+                match self.src.second_call(fd) {
+                    Some(req) => {
+                        self.st = 2;
+                        Step::Syscall(req)
+                    }
+                    None => {
+                        self.st = 3;
+                        self.step(ctx)
+                    }
+                }
+            }
+            2 => {
+                if !matches!(ctx.take_ret(), SyscallRet::Val(_)) {
+                    return Step::Exit(2);
+                }
+                self.st = 3;
+                self.step(ctx)
+            }
+            3 => {
+                self.st = 4;
+                Step::Syscall(self.dst.first_call())
+            }
+            4 => {
+                self.dst_fd = ctx.take_ret().as_fd();
+                let Some(fd) = self.dst_fd else {
+                    return Step::Exit(2);
+                };
+                match self.dst.second_call(fd) {
+                    Some(req) => {
+                        self.st = 5;
+                        Step::Syscall(req)
+                    }
+                    None => {
+                        self.st = 6;
+                        self.step(ctx)
+                    }
+                }
+            }
+            5 => {
+                if !matches!(ctx.take_ret(), SyscallRet::Val(_)) {
+                    return Step::Exit(2);
+                }
+                self.st = 6;
+                self.step(ctx)
+            }
+            6 => {
+                self.st = 7;
+                Step::splice(
+                    SpliceArgs::new(self.src_fd.unwrap(), self.dst_fd.unwrap()).len(self.len),
+                )
+            }
+            7 => {
+                let ret = ctx.take_ret();
+                let ok = matches!(ret, SyscallRet::Val(_));
+                *self.result.borrow_mut() = Some(ret);
+                if self.fsync_dst && ok {
+                    self.st = 8;
+                    return Step::Syscall(SyscallReq::Fsync(self.dst_fd.unwrap()));
+                }
+                Step::Exit(0)
+            }
+            8 => {
+                ctx.take_ret();
+                Step::Exit(0)
+            }
+            _ => Step::Exit(0),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "endpoint_pair"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_to_socket_sequence() {
+        let (mut p, result) = EndpointPair::new(
+            EndSpec::read("/d0/src"),
+            EndSpec::SockConnect {
+                addr: SockAddr { host: 1, port: 9 },
+            },
+            SpliceLen::Bytes(4096),
+        );
+        let mut ctx = UserCtx::default();
+        assert!(matches!(
+            p.step(&mut ctx),
+            Step::Syscall(SyscallReq::Open { .. })
+        ));
+        ctx.ret = Some(SyscallRet::NewFd(Fd(3)));
+        assert!(matches!(
+            p.step(&mut ctx),
+            Step::Syscall(SyscallReq::Socket)
+        ));
+        ctx.ret = Some(SyscallRet::NewFd(Fd(4)));
+        assert!(matches!(
+            p.step(&mut ctx),
+            Step::Syscall(SyscallReq::Connect { fd: Fd(4), .. })
+        ));
+        ctx.ret = Some(SyscallRet::Val(0));
+        assert!(matches!(
+            p.step(&mut ctx),
+            Step::Syscall(SyscallReq::Splice {
+                src: Fd(3),
+                dst: Fd(4),
+                len: SpliceLen::Bytes(4096),
+            })
+        ));
+        ctx.ret = Some(SyscallRet::Val(4096));
+        assert_eq!(p.step(&mut ctx), Step::Exit(0));
+        assert_eq!(*result.borrow(), Some(SyscallRet::Val(4096)));
+    }
+
+    #[test]
+    fn errno_is_recorded_not_fatal() {
+        let (mut p, result) = EndpointPair::new(
+            EndSpec::read("/d0/src"),
+            EndSpec::create("/d1/dst"),
+            SpliceLen::Eof,
+        );
+        let mut ctx = UserCtx::default();
+        p.step(&mut ctx);
+        ctx.ret = Some(SyscallRet::NewFd(Fd(3)));
+        p.step(&mut ctx);
+        ctx.ret = Some(SyscallRet::NewFd(Fd(4)));
+        p.step(&mut ctx);
+        ctx.ret = Some(SyscallRet::Err(crate::Errno::Einval));
+        assert_eq!(p.step(&mut ctx), Step::Exit(0));
+        assert_eq!(
+            *result.borrow(),
+            Some(SyscallRet::Err(crate::Errno::Einval))
+        );
+    }
+}

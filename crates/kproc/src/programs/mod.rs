@@ -16,9 +16,12 @@
 //!   (read/write vs splice) for the socket-to-socket data path (§5.1).
 //! * [`Writer`] — creates files through the normal write path (exercises
 //!   allocation + delayed writes).
+//! * [`EndpointPair`] — a generic splice driver between any two endpoint
+//!   specs; the endpoint-matrix tests and bench are built on it.
 
 pub mod cp;
 pub mod cpubound;
+pub mod endpoint;
 pub mod movie;
 pub mod net;
 pub mod repeat;
@@ -28,6 +31,7 @@ pub mod writer;
 
 pub use cp::Cp;
 pub use cpubound::CpuBound;
+pub use endpoint::{EndSpec, EndpointPair};
 pub use movie::MoviePlayer;
 pub use net::{UdpRelayRw, UdpRelaySplice, UdpSink, UdpSource};
 pub use repeat::Repeat;

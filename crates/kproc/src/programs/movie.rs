@@ -11,7 +11,7 @@
 use ksim::Dur;
 
 use crate::program::{Program, Step, UserCtx};
-use crate::types::{Fd, FcntlCmd, OpenFlags, Sig, SpliceArgs, SyscallRet, SyscallReq};
+use crate::types::{FcntlCmd, Fd, OpenFlags, Sig, SpliceArgs, SyscallReq, SyscallRet};
 
 #[derive(Debug)]
 enum St {
@@ -234,11 +234,18 @@ mod tests {
         let s = p.step(ctx);
         assert!(matches!(
             s,
-            Step::Syscall(SyscallReq::Splice { src: Fd(3), dst: Fd(5), len: SpliceLen::Eof })
+            Step::Syscall(SyscallReq::Splice {
+                src: Fd(3),
+                dst: Fd(5),
+                len: SpliceLen::Eof
+            })
         ));
         ctx.ret = Some(SyscallRet::Val(0));
         let s = p.step(ctx);
-        assert!(matches!(s, Step::Syscall(SyscallReq::Sigaction { sig: Sig::Alrm, .. })));
+        assert!(matches!(
+            s,
+            Step::Syscall(SyscallReq::Sigaction { sig: Sig::Alrm, .. })
+        ));
         ctx.ret = Some(SyscallRet::Val(0));
         let s = p.step(ctx);
         assert!(matches!(s, Step::Syscall(SyscallReq::SetItimer { .. })));

@@ -9,7 +9,7 @@ use ksim::Dur;
 
 use crate::program::{Program, Step, UserCtx};
 use crate::programs::util::pattern_bytes;
-use crate::types::{Fd, SockAddr, SpliceArgs, SyscallRet, SyscallReq};
+use crate::types::{Fd, SockAddr, SpliceArgs, SyscallReq, SyscallRet};
 
 /// Sends `count` datagrams of `size` bytes to `dest`, pacing each send
 /// with a small user-mode gap.
@@ -381,7 +381,10 @@ mod tests {
         let dest = SockAddr { host: 2, port: 9 };
         let mut p = UdpSource::new(dest, 1024, 2, Dur::ZERO, 5);
         let mut ctx = UserCtx::default();
-        assert!(matches!(p.step(&mut ctx), Step::Syscall(SyscallReq::Socket)));
+        assert!(matches!(
+            p.step(&mut ctx),
+            Step::Syscall(SyscallReq::Socket)
+        ));
         ctx.ret = Some(SyscallRet::NewFd(Fd(3)));
         assert!(matches!(
             p.step(&mut ctx),

@@ -7,7 +7,7 @@
 //! announced with `SIGIO`, which the program waits for in `pause()`.
 
 use crate::program::{Program, Step, UserCtx};
-use crate::types::{Fd, FcntlCmd, OpenFlags, Sig, SpliceArgs, SyscallRet, SyscallReq};
+use crate::types::{FcntlCmd, Fd, OpenFlags, Sig, SpliceArgs, SyscallReq, SyscallRet};
 
 /// How `scp` waits for the transfer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -122,10 +122,7 @@ impl Program for Scp {
                 match self.mode {
                     ScpMode::Sync => {
                         self.st = St::Splice;
-                        Step::splice(SpliceArgs::new(
-                            self.src_fd.unwrap(),
-                            self.dst_fd.unwrap(),
-                        ))
+                        Step::splice(SpliceArgs::new(self.src_fd.unwrap(), self.dst_fd.unwrap()))
                     }
                     ScpMode::Async => {
                         self.st = St::Sigaction;
@@ -147,10 +144,7 @@ impl Program for Scp {
             St::Fcntl => {
                 ctx.take_ret();
                 self.st = St::Splice;
-                Step::splice(SpliceArgs::new(
-                    self.src_fd.unwrap(),
-                    self.dst_fd.unwrap(),
-                ))
+                Step::splice(SpliceArgs::new(self.src_fd.unwrap(), self.dst_fd.unwrap()))
             }
             St::Splice => match ctx.take_ret() {
                 SyscallRet::Val(n) if n >= 0 => match self.mode {
@@ -164,9 +158,7 @@ impl Program for Scp {
                         if ctx.got_signal(Sig::Io) {
                             // Completion raced ahead of us.
                             self.st = St::CloseSrc;
-                            return Step::Syscall(SyscallReq::Close(
-                                self.src_fd.take().unwrap(),
-                            ));
+                            return Step::Syscall(SyscallReq::Close(self.src_fd.take().unwrap()));
                         }
                         self.st = St::Pause;
                         Step::Syscall(SyscallReq::Pause)
@@ -252,7 +244,10 @@ mod tests {
         let s = scp.step(&mut ctx);
         assert!(matches!(
             s,
-            Step::Syscall(SyscallReq::Sigaction { sig: Sig::Io, catch: true })
+            Step::Syscall(SyscallReq::Sigaction {
+                sig: Sig::Io,
+                catch: true
+            })
         ));
         ctx.ret = Some(SyscallRet::Val(0));
         let s = scp.step(&mut ctx);
@@ -292,7 +287,7 @@ mod tests {
         scp.step(&mut ctx);
         ctx.ret = Some(SyscallRet::Val(0));
         scp.step(&mut ctx); // pause
-        // Woken by SIGALRM instead of SIGIO.
+                            // Woken by SIGALRM instead of SIGIO.
         ctx.ret = Some(SyscallRet::Val(0));
         ctx.signals = vec![Sig::Alrm];
         let s = scp.step(&mut ctx);

@@ -6,7 +6,7 @@
 
 use crate::program::{Program, Step, UserCtx};
 use crate::programs::util::pattern_bytes;
-use crate::types::{Fd, OpenFlags, SyscallRet, SyscallReq};
+use crate::types::{Fd, OpenFlags, SyscallReq, SyscallRet};
 
 /// Writes `total` pattern bytes to `path` in `chunk`-byte writes, then
 /// fsyncs and closes.

@@ -285,7 +285,10 @@ mod tests {
         s.current_mut().unwrap().penalty = Dur::from_us(100);
         let cur = s.current().unwrap();
         assert_eq!(cur.executed_by(t(0) + Dur::from_us(400)), Dur::from_us(300));
-        assert_eq!(cur.remaining_at(t(0) + Dur::from_us(400)), Dur::from_us(700));
+        assert_eq!(
+            cur.remaining_at(t(0) + Dur::from_us(400)),
+            Dur::from_us(700)
+        );
         // Executed never exceeds the demand.
         assert_eq!(cur.executed_by(t(0) + Dur::from_ms(10)), Dur::from_us(1000));
     }

@@ -159,6 +159,12 @@ impl SpliceArgs {
         self
     }
 
+    /// Sets the transfer size from an existing [`SpliceLen`].
+    pub fn len(mut self, len: SpliceLen) -> SpliceArgs {
+        self.len = len;
+        self
+    }
+
     /// Runs until end of file (the default).
     pub fn to_eof(mut self) -> SpliceArgs {
         self.len = SpliceLen::Eof;

@@ -1,6 +1,5 @@
 //! Property tests for the CPU engine and scheduler bookkeeping.
 
-
 // Compiled only with `cargo test --features props` (hermetic default
 // builds skip the property suites).
 #![cfg(feature = "props")]

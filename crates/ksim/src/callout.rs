@@ -123,7 +123,10 @@ impl<C> Callout<C> {
     /// The earliest tick with pending work, if any (lets the kernel skip
     /// idle ticks without simulating each one).
     pub fn next_due_tick(&self) -> Option<u64> {
-        self.table.iter().find(|(_, v)| !v.is_empty()).map(|(t, _)| *t)
+        self.table
+            .iter()
+            .find(|(_, v)| !v.is_empty())
+            .map(|(t, _)| *t)
     }
 }
 

@@ -98,7 +98,11 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `at` is earlier than the current time.
     pub fn schedule(&mut self, at: SimTime, ev: E) -> EventId {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let id = EventId(self.next_id);
         self.next_id += 1;
         let seq = self.next_seq;

@@ -177,7 +177,10 @@ impl Json {
         let value = parse_value(bytes, &mut pos)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(JsonError { pos, what: "trailing data" });
+            return Err(JsonError {
+                pos,
+                what: "trailing data",
+            });
         }
         Ok(value)
     }
@@ -246,14 +249,20 @@ fn expect(bytes: &[u8], pos: &mut usize, lit: &'static str) -> Result<(), JsonEr
         *pos += lit.len();
         Ok(())
     } else {
-        Err(JsonError { pos: *pos, what: lit })
+        Err(JsonError {
+            pos: *pos,
+            what: lit,
+        })
     }
 }
 
 fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err(JsonError { pos: *pos, what: "value" }),
+        None => Err(JsonError {
+            pos: *pos,
+            what: "value",
+        }),
         Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
         Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
         Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
@@ -275,7 +284,12 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
                         *pos += 1;
                         return Ok(Json::Arr(items));
                     }
-                    _ => return Err(JsonError { pos: *pos, what: "',' or ']'" }),
+                    _ => {
+                        return Err(JsonError {
+                            pos: *pos,
+                            what: "',' or ']'",
+                        })
+                    }
                 }
             }
         }
@@ -292,7 +306,10 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 if bytes.get(*pos) != Some(&b':') {
-                    return Err(JsonError { pos: *pos, what: "':'" });
+                    return Err(JsonError {
+                        pos: *pos,
+                        what: "':'",
+                    });
                 }
                 *pos += 1;
                 let value = parse_value(bytes, pos)?;
@@ -304,7 +321,12 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
                         *pos += 1;
                         return Ok(Json::Obj(fields));
                     }
-                    _ => return Err(JsonError { pos: *pos, what: "',' or '}'" }),
+                    _ => {
+                        return Err(JsonError {
+                            pos: *pos,
+                            what: "',' or '}'",
+                        })
+                    }
                 }
             }
         }
@@ -314,13 +336,21 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     if bytes.get(*pos) != Some(&b'"') {
-        return Err(JsonError { pos: *pos, what: "'\"'" });
+        return Err(JsonError {
+            pos: *pos,
+            what: "'\"'",
+        });
     }
     *pos += 1;
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err(JsonError { pos: *pos, what: "closing '\"'" }),
+            None => {
+                return Err(JsonError {
+                    pos: *pos,
+                    what: "closing '\"'",
+                })
+            }
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -340,11 +370,19 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                             .and_then(|h| std::str::from_utf8(h).ok())
                             .and_then(|h| u32::from_str_radix(h, 16).ok())
                             .and_then(char::from_u32)
-                            .ok_or(JsonError { pos: *pos, what: "\\uXXXX escape" })?;
+                            .ok_or(JsonError {
+                                pos: *pos,
+                                what: "\\uXXXX escape",
+                            })?;
                         out.push(hex);
                         *pos += 4;
                     }
-                    _ => return Err(JsonError { pos: *pos, what: "escape character" }),
+                    _ => {
+                        return Err(JsonError {
+                            pos: *pos,
+                            what: "escape character",
+                        })
+                    }
                 }
                 *pos += 1;
             }
@@ -373,7 +411,10 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .map(Json::Num)
-        .ok_or(JsonError { pos: start, what: "number" })
+        .ok_or(JsonError {
+            pos: start,
+            what: "number",
+        })
 }
 
 #[cfg(test)]
@@ -385,10 +426,13 @@ mod tests {
         let doc = Json::obj()
             .with("name", Json::Str("table2".into()))
             .with("ok", Json::Bool(true))
-            .with("rows", Json::Arr(vec![
-                Json::obj().with("kb_per_s", Json::Num(2212.5)),
-                Json::obj().with("kb_per_s", Json::Num(820.0)),
-            ]))
+            .with(
+                "rows",
+                Json::Arr(vec![
+                    Json::obj().with("kb_per_s", Json::Num(2212.5)),
+                    Json::obj().with("kb_per_s", Json::Num(820.0)),
+                ]),
+            )
             .with("none", Json::Null);
         for text in [doc.render(), doc.render_pretty()] {
             assert_eq!(Json::parse(&text).unwrap(), doc);
@@ -426,7 +470,10 @@ mod tests {
         let doc = Json::parse("{\"n\": 3, \"s\": \"x\", \"a\": [1, 2]}").unwrap();
         assert_eq!(doc.get("n").and_then(Json::as_u64), Some(3));
         assert_eq!(doc.get("s").and_then(Json::as_str), Some("x"));
-        assert_eq!(doc.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert_eq!(
+            doc.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
         assert_eq!(doc.get("missing"), None);
     }
 }

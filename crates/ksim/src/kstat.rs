@@ -205,7 +205,9 @@ impl SpliceSpans {
     /// span under the same id (descriptor ids are never reused by the
     /// splice engine, so this only matters for defensive callers).
     pub fn start(&mut self, id: u64, now: SimTime) -> &mut SpliceSpan {
-        self.spans.entry(id).or_insert_with(|| SpliceSpan::new(id, now))
+        self.spans
+            .entry(id)
+            .or_insert_with(|| SpliceSpan::new(id, now))
     }
 
     /// Mutable access for the instrumentation sites; `None` for ids

@@ -116,7 +116,11 @@ impl Hist {
 
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
-        let idx = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        let idx = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += v as u128;

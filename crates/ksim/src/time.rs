@@ -268,7 +268,10 @@ mod tests {
 
     #[test]
     fn saturating_since_clamps() {
-        assert_eq!(SimTime::ZERO.saturating_since(SimTime::from_ns(7)), Dur::ZERO);
+        assert_eq!(
+            SimTime::ZERO.saturating_since(SimTime::from_ns(7)),
+            Dur::ZERO
+        );
     }
 
     #[test]

@@ -2,7 +2,6 @@
 //! with a reference model, and the callout table must deliver everything
 //! exactly once in tick order.
 
-
 // Compiled only with `cargo test --features props` (hermetic default
 // builds skip the property suites).
 #![cfg(feature = "props")]

@@ -42,7 +42,9 @@ fn main() {
     let idle = run("IDLE", None);
     let cp = run(
         "CP",
-        Some(Box::new(Cp::with_options("/d0/src", "/d1/dst", 8192, true, 10_000))),
+        Some(Box::new(Cp::with_options(
+            "/d0/src", "/d1/dst", 8192, true, 10_000,
+        ))),
     );
     let scp = run(
         "SCP",
@@ -54,8 +56,16 @@ fn main() {
         ))),
     );
     println!();
-    println!("  F_cp  = {:.2}  (test at {:.0}% of idle speed)", cp / idle, 100.0 * idle / cp);
-    println!("  F_scp = {:.2}  (test at {:.0}% of idle speed)", scp / idle, 100.0 * idle / scp);
+    println!(
+        "  F_cp  = {:.2}  (test at {:.0}% of idle speed)",
+        cp / idle,
+        100.0 * idle / cp
+    );
+    println!(
+        "  F_scp = {:.2}  (test at {:.0}% of idle speed)",
+        scp / idle,
+        100.0 * idle / scp
+    );
     println!("  improvement factor = {:.2}", cp / scp);
     println!();
     println!("paper (Table 1, RAM row): F_cp 2.00, F_scp 1.25, factor 1.6");

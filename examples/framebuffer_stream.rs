@@ -11,9 +11,7 @@
 
 use kdev::Framebuffer;
 use kproc::programs::UdpSink;
-use kproc::{
-    Fd, OpenFlags, Program, SockAddr, SpliceArgs, Step, SyscallRet, SyscallReq, UserCtx,
-};
+use kproc::{Fd, OpenFlags, Program, SockAddr, SpliceArgs, Step, SyscallReq, SyscallRet, UserCtx};
 use splice::KernelBuilder;
 
 const FRAME: usize = 256 * 1024; // 256 KB frames (e.g. 512x512x8bit)
@@ -48,7 +46,10 @@ impl Program for FbStreamer {
                 self.st = 3;
                 Step::Syscall(SyscallReq::Connect {
                     fd: self.sock_fd.unwrap(),
-                    addr: SockAddr { host: 1, port: PORT },
+                    addr: SockAddr {
+                        host: 1,
+                        port: PORT,
+                    },
                 })
             }
             3 => {

@@ -67,10 +67,7 @@ fn main() {
             }
             CharDev::Video(v) => {
                 let intervals = v.frame_intervals();
-                let mean_ms = intervals
-                    .iter()
-                    .map(|d| d.as_secs_f64() * 1e3)
-                    .sum::<f64>()
+                let mean_ms = intervals.iter().map(|d| d.as_secs_f64() * 1e3).sum::<f64>()
                     / intervals.len().max(1) as f64;
                 let worst_ms = intervals
                     .iter()

@@ -41,19 +41,28 @@ fn run(splice_relay: bool) -> Outcome {
     if splice_relay {
         k.spawn(Box::new(UdpRelaySplice::new(
             PORT_IN,
-            SockAddr { host: 1, port: PORT_OUT },
+            SockAddr {
+                host: 1,
+                port: PORT_OUT,
+            },
             u64::MAX / 2,
         )));
     } else {
         k.spawn(Box::new(UdpRelayRw::new(
             PORT_IN,
-            SockAddr { host: 1, port: PORT_OUT },
+            SockAddr {
+                host: 1,
+                port: PORT_OUT,
+            },
             u64::MAX,
         )));
     }
     // ~0.8 MB/s offered load.
     k.spawn(Box::new(UdpSource::new(
-        SockAddr { host: 1, port: PORT_IN },
+        SockAddr {
+            host: 1,
+            port: PORT_IN,
+        },
         DGRAM_SIZE,
         DGRAMS,
         Dur::from_ms(5),

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate, run exactly as CI does: hermetic build + tests, lints as
-# errors, and a smoke run of the table2 binary proving the BENCH JSON
-# artifact is written and parseable.
+# Tier-1 gate, run exactly as CI does: hermetic build + tests, formatting
+# and lints as errors, every example binary, and smoke runs of the bench
+# binaries proving the BENCH JSON artifacts are written and parseable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,18 +13,48 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== rustfmt (check only) =="
+cargo fmt --all -- --check
+
 echo "== clippy (workspace, warnings are errors) =="
 cargo clippy --workspace -- -D warnings
+
+echo "== examples =="
+for ex in quickstart movie_player network_relay framebuffer_stream cpu_availability; do
+    echo "-- example: $ex"
+    cargo run -q --release --example "$ex"
+done
+
+echo "== table1 smoke run =="
+rm -f BENCH_table1.json
+cargo run --release -p bench --bin table1
+test -s BENCH_table1.json
 
 echo "== table2 smoke run =="
 rm -f BENCH_table2.json
 cargo run --release -p bench --bin table2
 test -s BENCH_table2.json
 
-# Parse the artifact with the same in-tree parser the snapshot uses.
+echo "== endpoint matrix smoke run =="
+rm -f BENCH_endpoints.json
+cargo run --release -p bench --bin endpoint_matrix
+test -s BENCH_endpoints.json
+
+# Parse the artifacts with the same in-tree parser the snapshot uses.
 cargo test -q --test observability snapshot_json_round_trips
 python3 - <<'EOF'
 import json
+
+doc = json.load(open("BENCH_table1.json"))
+assert doc["table"] == "table1", doc.get("table")
+rows = doc["rows"]
+assert len(rows) == 3, len(rows)
+for row in rows:
+    # The paper's availability ordering: splice leaves more CPU to the
+    # test program than the copying environment does.
+    assert row["scp"]["slowdown"] <= row["cp"]["slowdown"], row
+print("BENCH_table1.json: ok (%d rows)" % len(rows))
+
 doc = json.load(open("BENCH_table2.json"))
 assert doc["table"] == "table2", doc.get("table")
 rows = doc["rows"]
@@ -36,6 +66,15 @@ for row in rows:
     assert len(scp["splice"]["spans"]) >= 1
     assert row["cp"]["metrics"]["copy"]["copyin_bytes"] > 0
 print("BENCH_table2.json: ok (%d rows)" % len(rows))
+
+doc = json.load(open("BENCH_endpoints.json"))
+assert doc["table"] == "endpoints", doc.get("table")
+rows = doc["rows"]
+# Every supported pair of the capability table: 3 sources x 4 sinks.
+assert len(rows) == 12, len(rows)
+for row in rows:
+    assert row["kb_per_s"] > 0, row
+print("BENCH_endpoints.json: ok (%d rows)" % len(rows))
 EOF
 
 echo "ci.sh: all green"

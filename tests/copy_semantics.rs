@@ -46,9 +46,7 @@ fn all_methods_copy_identically_on_ram() {
         ),
         (
             "scp-sync",
-            Box::new(|| {
-                Box::new(Scp::with_options("/d0/src", "/d1/dst", ScpMode::Sync, 1))
-            }),
+            Box::new(|| Box::new(Scp::with_options("/d0/src", "/d1/dst", ScpMode::Sync, 1))),
         ),
         (
             "handle",

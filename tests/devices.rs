@@ -187,7 +187,10 @@ fn framebuffer_to_socket_splice_delivers_datagrams() {
                     self.st = 3;
                     Step::Syscall(SyscallReq::Connect {
                         fd: self.sock.unwrap(),
-                        addr: SockAddr { host: 1, port: 6000 },
+                        addr: SockAddr {
+                            host: 1,
+                            port: 6000,
+                        },
                     })
                 }
                 3 => {

@@ -113,7 +113,10 @@ fn snapshot_json_round_trips() {
         .and_then(Json::as_arr)
         .expect("spans array");
     assert_eq!(spans.len(), 1);
-    assert_eq!(spans[0].get("bytes_moved").and_then(Json::as_u64), Some(2 * MB));
+    assert_eq!(
+        spans[0].get("bytes_moved").and_then(Json::as_u64),
+        Some(2 * MB)
+    );
     assert_eq!(
         doc.get("copy")
             .and_then(|c| c.get("copyout_bytes"))

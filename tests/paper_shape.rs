@@ -21,7 +21,12 @@ fn throughput(profile: DiskProfile, len: u64, splice: bool) -> f64 {
     let mut k = boot(profile, len);
     let t0 = k.now();
     if splice {
-        k.spawn(Box::new(Scp::with_options("/d0/src", "/d1/dst", ScpMode::Async, 1)));
+        k.spawn(Box::new(Scp::with_options(
+            "/d0/src",
+            "/d1/dst",
+            ScpMode::Async,
+            1,
+        )));
     } else {
         k.spawn(Box::new(Cp::new("/d0/src", "/d1/dst")));
     }
@@ -45,10 +50,15 @@ fn slowdown(profile: DiskProfile, len: u64, splice: bool) -> f64 {
     let test = k.spawn(Box::new(CpuBound::new(3_000, Dur::from_ms(1))));
     if splice {
         k.spawn(Box::new(Scp::with_options(
-            "/d0/src", "/d1/dst", ScpMode::Async, 10_000,
+            "/d0/src",
+            "/d1/dst",
+            ScpMode::Async,
+            10_000,
         )));
     } else {
-        k.spawn(Box::new(Cp::with_options("/d0/src", "/d1/dst", 8192, true, 10_000)));
+        k.spawn(Box::new(Cp::with_options(
+            "/d0/src", "/d1/dst", 8192, true, 10_000,
+        )));
     }
     let horizon = k.horizon(600);
     let t1 = k.run_until_exit_of(test, horizon);

@@ -2,7 +2,6 @@
 //! through the full splice path, with data integrity and filesystem
 //! consistency as the properties — plus determinism of the simulation.
 
-
 // Compiled only with `cargo test --features props` (hermetic default
 // builds skip the property suites).
 #![cfg(feature = "props")]

@@ -10,7 +10,10 @@ fn source_to_sink_direct() {
     let mut k = KernelBuilder::new().build();
     let sink = k.spawn(Box::new(UdpSink::new(9000, 10)));
     let src = k.spawn(Box::new(UdpSource::new(
-        SockAddr { host: 1, port: 9000 },
+        SockAddr {
+            host: 1,
+            port: 9000,
+        },
         1024,
         10,
         Dur::from_ms(1),
@@ -30,11 +33,17 @@ fn rw_relay_forwards_everything() {
     let sink = k.spawn(Box::new(UdpSink::new(9001, 20)));
     let relay = k.spawn(Box::new(UdpRelayRw::new(
         9000,
-        SockAddr { host: 1, port: 9001 },
+        SockAddr {
+            host: 1,
+            port: 9001,
+        },
         20,
     )));
     k.spawn(Box::new(UdpSource::new(
-        SockAddr { host: 1, port: 9000 },
+        SockAddr {
+            host: 1,
+            port: 9000,
+        },
         2048,
         20,
         Dur::from_ms(1),
@@ -53,11 +62,17 @@ fn splice_relay_forwards_in_kernel() {
     let sink = k.spawn(Box::new(UdpSink::new(9001, 20)));
     let relay = k.spawn(Box::new(UdpRelaySplice::new(
         9000,
-        SockAddr { host: 1, port: 9001 },
+        SockAddr {
+            host: 1,
+            port: 9001,
+        },
         total,
     )));
     k.spawn(Box::new(UdpSource::new(
-        SockAddr { host: 1, port: 9000 },
+        SockAddr {
+            host: 1,
+            port: 9000,
+        },
         2048,
         20,
         Dur::from_ms(1),
@@ -81,11 +96,17 @@ fn rw_relay_with_cpu_contention() {
     let sink = k.spawn(Box::new(UdpSink::new(9001, 20)));
     let relay = k.spawn(Box::new(UdpRelayRw::new(
         9000,
-        SockAddr { host: 1, port: 9001 },
+        SockAddr {
+            host: 1,
+            port: 9001,
+        },
         20,
     )));
     k.spawn(Box::new(UdpSource::new(
-        SockAddr { host: 1, port: 9000 },
+        SockAddr {
+            host: 1,
+            port: 9000,
+        },
         2048,
         20,
         Dur::from_ms(2),

@@ -25,7 +25,12 @@ fn mixed_workload_stays_coherent() {
     // across three disks.
     let pids = vec![
         k.spawn(Box::new(Scp::new("/d0/a", "/d1/a"))), // rz58 → rz56
-        k.spawn(Box::new(Scp::with_options("/ram/c", "/d0/c", ScpMode::Sync, 2))), // ram → rz58, twice
+        k.spawn(Box::new(Scp::with_options(
+            "/ram/c",
+            "/d0/c",
+            ScpMode::Sync,
+            2,
+        ))), // ram → rz58, twice
         k.spawn(Box::new(Cp::new("/d0/b", "/ram/b"))), // rz58 → ram
         k.spawn(Box::new(Cp::new("/ram/c", "/d1/c"))), // ram → rz56
         k.spawn(Box::new(Writer::new("/d1/w", MB, 8192, 9))),
