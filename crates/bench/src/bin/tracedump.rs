@@ -1,0 +1,29 @@
+//! Runs named workloads with the typed trace ring enabled and exports
+//! each trace as Chrome trace-event JSON (`TRACE_<workload>.json`),
+//! loadable in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin tracedump            # all workloads
+//! cargo run --release -p bench --bin tracedump -- scp_ram # just one
+//! ```
+
+use bench::{workloads, write_bench_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        workloads::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in names {
+        let k = workloads::run(name);
+        let trace = k.trace();
+        println!(
+            "{name}: {} trace records, {} block spans",
+            trace.len(),
+            trace.query().all_block_spans().len()
+        );
+        write_bench_json(&format!("TRACE_{name}.json"), &trace.to_chrome_json());
+    }
+}

@@ -18,6 +18,8 @@
 //! Every run verifies the copied bytes and `fsck`s the filesystems; a
 //! performance number from a corrupted run would be meaningless.
 
+pub mod workloads;
+
 use khw::DiskProfile;
 use kproc::programs::{Cp, CpuBound, Scp, ScpMode};
 use kproc::{Pid, ProcState, Program};

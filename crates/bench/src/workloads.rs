@@ -1,0 +1,130 @@
+//! Named, trace-enabled workloads for `tracedump` and the trace tests.
+//!
+//! Each workload boots a kernel with the typed trace ring on
+//! ([`splice::KernelBuilder::trace`]), runs one representative scenario
+//! to completion with its results verified, and returns the kernel so
+//! callers can query or export the trace.
+
+use kdev::{AudioDac, VideoDac};
+use khw::DiskProfile;
+use kproc::programs::{EndSpec, EndpointPair, MoviePlayer, Scp, UdpSource};
+use kproc::{ProcState, SockAddr, SpliceLen, SyscallRet};
+use ksim::Dur;
+use splice::{Kernel, KernelBuilder};
+
+/// Trace-ring capacity for every workload: ample for the scenarios here.
+const TRACE_CAP: usize = 1 << 20;
+
+/// The named workloads, in the order `tracedump` runs them by default.
+pub const ALL: &[&str] = &["scp_ram", "spool", "movie"];
+
+/// Runs workload `name` to completion and returns the kernel (trace
+/// ring populated).
+///
+/// # Panics
+///
+/// Panics on an unknown name, or if the workload fails its own
+/// correctness checks.
+pub fn run(name: &str) -> Kernel {
+    match name {
+        "scp_ram" => scp_ram(),
+        "spool" => spool(),
+        "movie" => movie(),
+        other => panic!("unknown workload `{other}` (known: {})", ALL.join(", ")),
+    }
+}
+
+/// The paper's SCP on the RAM-disk row: one asynchronous file→file
+/// splice of 1 MB from `/d0` to `/d1`, cold cache.
+fn scp_ram() -> Kernel {
+    const BYTES: u64 = 1 << 20;
+    let mut k = KernelBuilder::paper_machine_ram().trace(TRACE_CAP).build();
+    k.setup_file("/d0/src", BYTES, 5);
+    k.cold_cache();
+    let pid = k.spawn(Box::new(Scp::new("/d0/src", "/d1/dst")));
+    let horizon = k.horizon(300);
+    k.run_to_exit(horizon);
+    assert!(
+        matches!(k.procs().must(pid).state, ProcState::Exited(0)),
+        "scp_ram: copy failed"
+    );
+    assert_eq!(
+        k.verify_pattern_file("/d1/dst", BYTES, 5),
+        None,
+        "scp_ram: corrupted copy"
+    );
+    k
+}
+
+/// Socket→file spooling: a UDP source paced against the soft-work
+/// budget feeds a socket that splices straight into a file.
+fn spool() -> Kernel {
+    const TOTAL: u64 = 1 << 20;
+    const DGRAM: usize = 8_192;
+    const SRC_GAP: Dur = Dur::from_ms(2);
+    let mut k = KernelBuilder::paper_machine_ram().trace(TRACE_CAP).build();
+    k.cold_cache();
+    let (pair, result) = EndpointPair::new(
+        EndSpec::SockBind { port: 7000 },
+        EndSpec::create("/d1/dst"),
+        SpliceLen::Bytes(TOTAL),
+    );
+    let pid = k.spawn(Box::new(pair));
+    k.spawn(Box::new(UdpSource::new(
+        SockAddr {
+            host: 1,
+            port: 7000,
+        },
+        DGRAM,
+        TOTAL / DGRAM as u64,
+        SRC_GAP,
+        11,
+    )));
+    let horizon = k.horizon(600);
+    k.run_to_exit(horizon);
+    assert!(
+        matches!(k.procs().must(pid).state, ProcState::Exited(0)),
+        "spool: driver failed"
+    );
+    assert_eq!(
+        result.borrow().clone(),
+        Some(SyscallRet::Val(TOTAL as i64)),
+        "spool: short transfer"
+    );
+    k
+}
+
+/// The §4 movie player on an RZ58: one EOF audio splice paced by the
+/// DAC plus one bounded synchronous video splice per timer tick.
+fn movie() -> Kernel {
+    const FRAME: usize = 64 * 1024;
+    const FRAMES: u64 = 30;
+    const FPS: u64 = 30;
+    const AUDIO_RATE: u64 = 8_000;
+    let mut k = KernelBuilder::new()
+        .disk("d0", DiskProfile::rz58())
+        .audio_dac("/dev/speaker", AudioDac::new(AUDIO_RATE, 64 * 1024))
+        .video_dac("/dev/video_dac", VideoDac::new(FRAME))
+        .trace(TRACE_CAP)
+        .build();
+    let audio_len = AUDIO_RATE * FRAMES / FPS;
+    k.setup_file("/d0/movie.audio", audio_len, 1);
+    k.setup_file("/d0/movie.video", FRAMES * FRAME as u64, 2);
+    k.cold_cache();
+    let player = MoviePlayer::new(
+        "/d0/movie.audio",
+        "/d0/movie.video",
+        "/dev/speaker",
+        "/dev/video_dac",
+        FRAME as u64,
+        Dur::from_ms(1000 / FPS),
+    );
+    let pid = k.spawn(Box::new(player));
+    let horizon = k.horizon(60);
+    k.run_to_exit(horizon);
+    assert!(
+        matches!(k.procs().must(pid).state, ProcState::Exited(0)),
+        "movie: player failed"
+    );
+    k
+}

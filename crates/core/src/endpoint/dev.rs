@@ -8,6 +8,8 @@
 //! remainder retries via the callout when space drains. The audio DAC's
 //! back-pressure is what rate-limits a whole-file audio splice.
 
+use ksim::TraceEvent;
+
 use crate::endpoint::Block;
 use crate::event::KWork;
 use crate::kernel::Kernel;
@@ -38,6 +40,10 @@ impl Kernel {
             Block::Bytes(data) => data.len(),
             Block::Buf(_) => d.mapped_len(lblk),
         };
+        if off == 0 {
+            self.trace
+                .emit(now, || TraceEvent::SpliceWriteIssue { desc, lblk });
+        }
         let want = len - off;
         let (accepted, retry_at) = match &mut self.cdevs[cdev].dev {
             CharDev::Audio(a) => {
@@ -71,6 +77,8 @@ impl Kernel {
                 let delay = at.saturating_since(now);
                 let ticks = self.dur_to_ticks(delay);
                 self.stats.bump("splice.dev_backpressure");
+                self.trace
+                    .emit(now, || TraceEvent::SpliceBackoff { desc, lblk });
                 self.span_note(desc, |s, _, _, _| s.note_backoff());
                 self.callout.schedule(
                     self.tick,

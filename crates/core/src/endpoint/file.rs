@@ -16,7 +16,7 @@
 use kbuf::{BreadOutcome, SpliceRef};
 use kfs::Ino;
 use kproc::{Errno, WorkClass};
-use ksim::Dur;
+use ksim::{Dur, TraceEvent};
 
 use crate::endpoint::ReadPlan;
 use crate::event::KWork;
@@ -128,9 +128,12 @@ impl Kernel {
             }
         }
         let cpu = self.apply_cache_effects(fx, ctx) + m.buf_op;
+        let now = self.q.now();
         match out {
             BreadOutcome::Miss(_) => {
                 self.stats.bump("splice.reads_issued");
+                self.trace
+                    .emit(now, || TraceEvent::SpliceReadIssue { desc: id, lblk });
                 self.span_note(id, |s, now, pr, pw| s.note_read_issued(now, pr, pw));
                 (cpu, true)
             }
@@ -138,6 +141,8 @@ impl Kernel {
                 // Already cached: the handler runs straight away.
                 self.iodone_map.remove(&tag);
                 self.stats.bump("splice.read_hits");
+                self.trace
+                    .emit(now, || TraceEvent::SpliceReadIssue { desc: id, lblk });
                 self.span_note(id, |s, now, pr, pw| s.note_read_hit(now, pr, pw));
                 self.enqueue_kwork(
                     WorkClass::Soft,
@@ -158,6 +163,8 @@ impl Kernel {
                 d.pending_reads -= 1;
                 d.issued_at.remove(&lblk);
                 self.stats.bump("splice.read_backoff");
+                self.trace
+                    .emit(now, || TraceEvent::SpliceBackoff { desc: id, lblk });
                 self.span_note(id, |s, _, _, _| s.note_backoff());
                 self.callout
                     .schedule(self.tick, 1, KWork::SpliceIssueReads { desc: id });
@@ -187,6 +194,9 @@ impl Kernel {
         {
             Some(hdr) => {
                 self.stats.bump("splice.shared_writes");
+                let now = self.q.now();
+                self.trace
+                    .emit(now, || TraceEvent::SpliceWriteIssue { desc, lblk });
                 let tag = self.new_iodone(KWork::SpliceWriteDone { desc, lblk, hdr });
                 let mut fx = Vec::new();
                 self.cache.bawrite_call(hdr, tag, &mut fx);
@@ -196,6 +206,9 @@ impl Kernel {
             None => {
                 // Destination block busy: retry next tick.
                 self.stats.bump("splice.write_backoff");
+                let now = self.q.now();
+                self.trace
+                    .emit(now, || TraceEvent::SpliceBackoff { desc, lblk });
                 self.span_note(desc, |s, _, _, _| s.note_backoff());
                 self.callout.schedule(
                     self.tick,
@@ -241,6 +254,9 @@ impl Kernel {
         let crate::endpoint::DstEndpoint::File { disk, ino } = d.dst else {
             panic!("splice_append with non-file sink")
         };
+        let now = self.q.now();
+        self.trace
+            .emit(now, || TraceEvent::SpliceWriteIssue { desc, lblk });
         if self.splice_append_file(disk, ino, off, &data) {
             self.splice_block_completed(desc, lblk, data.len() as u64);
         } else {
@@ -248,6 +264,8 @@ impl Kernel {
             // block rewrites are idempotent, so retry the same chunk at
             // the next tick.
             self.stats.bump("splice.append_backoff");
+            self.trace
+                .emit(now, || TraceEvent::SpliceBackoff { desc, lblk });
             self.span_note(desc, |s, _, _, _| s.note_backoff());
             self.callout.schedule(
                 self.tick,

@@ -9,6 +9,7 @@
 //! copy, no socket-buffer copy.
 
 use knet::{Datagram, SockId};
+use ksim::TraceEvent;
 
 use crate::endpoint::Block;
 use crate::event::Event;
@@ -26,9 +27,12 @@ impl Kernel {
     /// Sends `payload` as one datagram and schedules its delivery.
     pub(crate) fn sock_send_payload(&mut self, sock: SockId, payload: Vec<u8>) {
         let now = self.q.now();
+        let len = payload.len() as u32;
         match self.net.send(now, sock, payload.len()) {
             Ok(tx) => {
                 if let Some(dst) = tx.dst {
+                    self.trace
+                        .emit(now, || TraceEvent::NetSend { sock: sock.0, len });
                     let src_addr = self.net.source_addr(sock).expect("socket exists");
                     self.q.schedule(
                         tx.arrival.max(now),
@@ -40,10 +44,16 @@ impl Kernel {
                             },
                         },
                     );
+                } else {
+                    // No peer bound: knet counted the drop.
+                    self.trace
+                        .emit(now, || TraceEvent::NetDrop { sock: sock.0, len });
                 }
             }
             Err(_) => {
                 self.stats.bump("splice.sock_send_err");
+                self.trace
+                    .emit(now, || TraceEvent::NetDrop { sock: sock.0, len });
             }
         }
     }
@@ -70,6 +80,9 @@ impl Kernel {
             }
         };
         let bytes = payload.len() as u64;
+        let now = self.q.now();
+        self.trace
+            .emit(now, || TraceEvent::SpliceWriteIssue { desc, lblk });
         self.sock_send_payload(sock, payload);
         if let Some(buf) = buf {
             let d = self.splices.get_mut(&desc).unwrap();

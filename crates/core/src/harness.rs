@@ -14,6 +14,7 @@ pub struct KernelBuilder {
     cfg: KernelConfig,
     disks: Vec<(String, DiskProfile)>,
     cdevs: Vec<(String, CharDev)>,
+    trace: Option<usize>,
 }
 
 impl Default for KernelBuilder {
@@ -29,7 +30,15 @@ impl KernelBuilder {
             cfg: KernelConfig::default(),
             disks: Vec::new(),
             cdevs: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Enables the typed trace ring with room for `capacity` records.
+    /// Without this opt-in every tracepoint stays a single branch.
+    pub fn trace(mut self, capacity: usize) -> KernelBuilder {
+        self.trace = Some(capacity);
+        self
     }
 
     /// Overrides the kernel configuration.
@@ -76,6 +85,9 @@ impl KernelBuilder {
         }
         for (path, dev) in self.cdevs {
             k.add_cdev(&path, dev);
+        }
+        if let Some(capacity) = self.trace {
+            k.install_trace(capacity);
         }
         k
     }

@@ -26,7 +26,7 @@ use kproc::{
     Admit, Chan, ChanSpace, CpuEngine, Pid, ProcState, ProcTable, Program, RunKind, Scheduler, Sig,
     Step, WorkClass,
 };
-use ksim::{Callout, Dur, EventQueue, SimTime, Stats, Trace};
+use ksim::{Callout, Dur, EventQueue, SimTime, Stats, Trace, TraceEvent};
 
 use crate::event::{Event, KWork};
 use crate::objects::{CharDev, CharDevUnit, DiskUnit, DiskUnitKind, FileTable};
@@ -121,6 +121,11 @@ pub struct Kernel {
     pub(crate) trace: Trace,
 }
 
+/// Default trace-ring capacity when tracing is toggled on without the
+/// builder ([`KernelBuilder::trace`](crate::KernelBuilder::trace) sets
+/// an explicit one).
+pub(crate) const DEFAULT_TRACE_CAPACITY: usize = 400_000;
+
 impl Kernel {
     /// Builds a kernel with no disks or devices (the builder adds them).
     pub(crate) fn new(cfg: KernelConfig) -> Kernel {
@@ -158,7 +163,7 @@ impl Kernel {
             stats: Stats::new(),
             kstat: ksim::Kstat::new(),
             io_issued: HashMap::new(),
-            trace: Trace::new(400_000),
+            trace: Trace::new(DEFAULT_TRACE_CAPACITY),
         };
         // Boot the clock and the update daemon.
         let tick = k.cfg.machine.tick();
@@ -240,14 +245,51 @@ impl Kernel {
         &self.cdevs
     }
 
-    /// Enables the debug trace ring.
+    /// Enables the typed trace ring (and the cache's event log feeding
+    /// it). Prefer [`KernelBuilder::trace`](crate::KernelBuilder::trace)
+    /// for an explicit capacity.
     pub fn set_trace(&mut self, on: bool) {
         self.trace.set_enabled(on);
+        self.cache.set_event_log(on);
     }
 
-    /// Dumps the trace ring.
+    /// Replaces the trace ring with an enabled one of `capacity`
+    /// records (the builder's opt-in path).
+    pub(crate) fn install_trace(&mut self, capacity: usize) {
+        self.trace = Trace::new(capacity);
+        self.set_trace(true);
+    }
+
+    /// The typed trace ring (queries, spans, Chrome export).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Dumps the trace ring as text.
     pub fn trace_dump(&self) -> String {
         self.trace.dump()
+    }
+
+    /// Timestamps and records the cache's accumulated hit/miss/evict
+    /// events. The cache has no clock, so the kernel drains its log
+    /// after each dispatched event; simulated time cannot advance inside
+    /// one event, so the stamp is exact.
+    fn drain_cache_trace(&mut self) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let now = self.q.now();
+        for e in self.cache.take_events() {
+            self.trace.emit(now, || match e {
+                kbuf::CacheEvent::Hit { dev, blkno } => TraceEvent::CacheHit { dev: dev.0, blkno },
+                kbuf::CacheEvent::Miss { dev, blkno } => {
+                    TraceEvent::CacheMiss { dev: dev.0, blkno }
+                }
+                kbuf::CacheEvent::Evict { dev, blkno } => {
+                    TraceEvent::CacheEvict { dev: dev.0, blkno }
+                }
+            });
+        }
     }
 
     // ----- process lifecycle ------------------------------------------------
@@ -273,7 +315,7 @@ impl Kernel {
         let woken_cpu = p.recent_cpu;
         let now = self.q.now();
         self.trace
-            .emit(now, || format!("wakeup {pid:?} recent={woken_cpu}"));
+            .emit(now, || TraceEvent::SchedWakeup { pid: pid.0 });
         self.sched.enqueue(pid);
         // A process waking from a sleep returns at elevated priority, the
         // classic UNIX discipline — but only while its decayed CPU usage
@@ -318,6 +360,8 @@ impl Kernel {
         }
         self.sched.enqueue(cur.pid);
         self.stats.bump("sched.preemptions");
+        self.trace
+            .emit(now, || TraceEvent::SchedPreempt { pid: cur.pid.0 });
     }
 
     pub(crate) fn wakeup(&mut self, chan: Chan) {
@@ -444,6 +488,12 @@ impl Kernel {
         let disk_idx = *self.devmap.get(&dev).expect("I/O to unknown device");
         let now = self.q.now();
         self.io_issued.insert(buf, now);
+        self.trace.emit(now, || TraceEvent::DiskIssue {
+            disk: disk_idx as u32,
+            blkno,
+            len: len as u32,
+            write: dir == IoDir::Write,
+        });
         let sector = blkno * (self.cfg.block_size as u64 / khw::SECTOR_SIZE as u64);
         if dir == IoDir::Write {
             self.disks[disk_idx].write_inflight += 1;
@@ -529,6 +579,9 @@ impl Kernel {
                 self.wakeup(Chan::new(ChanSpace::Fsync, disk_idx as u64));
             }
         }
+        let now = self.q.now();
+        self.trace
+            .emit(now, || TraceEvent::CacheBiodone { buf: buf.0 });
         let mut fx = Vec::new();
         let tag = self.cache.biodone(buf, false, &mut fx);
         let sync = self.apply_cache_effects(fx, IoCtx::Kernel);
@@ -586,8 +639,10 @@ impl Kernel {
     /// Starts a run chunk for `pid` and schedules its completion.
     fn start_chunk(&mut self, pid: Pid, kind: RunKind, dur: Dur, quantum_left: Dur) {
         let now = self.q.now();
-        self.trace
-            .emit(now, || format!("chunk {pid:?} {kind:?} dur={dur}"));
+        self.trace.emit(now, || TraceEvent::SchedRun {
+            pid: pid.0,
+            ns: dur.as_ns(),
+        });
         let start = if now > self.cpu.busy_until() {
             now
         } else {
@@ -784,8 +839,10 @@ impl Kernel {
                     }
                     AfterCpu::Sleep(chan) => {
                         let now = self.q.now();
-                        self.trace
-                            .emit(now, || format!("sleep {pid:?} on {chan:?}"));
+                        self.trace.emit(now, || TraceEvent::SchedSleep {
+                            pid: pid.0,
+                            chan: chan.id,
+                        });
                         let p = self.procs.must_mut(pid);
                         p.state = ProcState::Sleeping(chan);
                         p.acct.vcsw += 1;
@@ -840,7 +897,9 @@ impl Kernel {
             let (cost, work) = self.deferred.pop_front().unwrap();
             self.enqueue_kwork(WorkClass::Soft, cost, work);
         }
+        let tick = self.tick;
         for work in self.callout.expire(self.tick) {
+            self.trace.emit(now, || TraceEvent::CalloutFire { tick });
             let cost = self.cfg.machine.callout_dispatch + self.kwork_base_cost(&work);
             self.enqueue_kwork(WorkClass::Soft, cost, work);
         }
@@ -931,6 +990,9 @@ impl Kernel {
                 if let Some(period) = self.cfg.update_interval {
                     let ticks = (period.as_ns() / self.cfg.machine.tick().as_ns()).max(1);
                     self.callout.schedule(self.tick, ticks, KWork::UpdateFlush);
+                    let now = self.q.now();
+                    self.trace
+                        .emit(now, || TraceEvent::CalloutArm { delay_ticks: ticks });
                 }
             }
             KWork::ItimerFire { pid } => {
@@ -943,6 +1005,9 @@ impl Kernel {
                         .callout
                         .schedule(self.tick, ticks, KWork::ItimerFire { pid });
                     self.itimer_callouts.insert(pid, id);
+                    let now = self.q.now();
+                    self.trace
+                        .emit(now, || TraceEvent::CalloutArm { delay_ticks: ticks });
                 }
             }
             splice_work => self.apply_splice_work(splice_work),
@@ -978,8 +1043,10 @@ impl Kernel {
             Event::Tick => self.on_tick(),
             Event::DiskIntr { disk, token } => {
                 let now = self.q.now();
-                self.trace
-                    .emit(now, || format!("diskintr d{disk} tok{token}"));
+                self.trace.emit(now, || TraceEvent::DiskIntr {
+                    disk: disk as u32,
+                    token,
+                });
                 let DiskUnitKind::Scsi(d) = &mut self.disks[disk].kind else {
                     panic!("DiskIntr for a RAM disk");
                 };
@@ -1026,7 +1093,8 @@ impl Kernel {
                 self.dispatch_pending = false;
                 self.resched = false;
                 let now = self.q.now();
-                self.trace.emit(now, || format!("dispatch {pid:?}"));
+                self.trace
+                    .emit(now, || TraceEvent::SchedDispatch { pid: pid.0 });
                 if self.sched.current().is_some() {
                     // The CPU was re-occupied during the switch window: a
                     // wakeup fired inside a system call's synchronous
@@ -1086,6 +1154,7 @@ impl Kernel {
             let (_, ev) = self.q.pop().unwrap();
             self.dispatch_event(ev);
             self.maybe_pump();
+            self.drain_cache_trace();
         }
     }
 

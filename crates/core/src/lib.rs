@@ -57,7 +57,10 @@
 //!
 //! Every measurement the kernel takes is reachable through that typed
 //! [`metrics::MetricsSnapshot`] (and the live [`ksim::Kstat`] block via
-//! [`Kernel::kstat`]); see `DESIGN.md` § Observability.
+//! [`Kernel::kstat`]); the time-ordered record is the typed trace ring
+//! ([`Kernel::trace`], opt-in via [`KernelBuilder::trace`]), queryable
+//! through [`ksim::TraceQuery`] and exportable as Chrome trace-event
+//! JSON. See `DESIGN.md` § Observability.
 
 pub mod baselines;
 pub mod endpoint;
@@ -72,6 +75,7 @@ pub mod syscalls;
 pub use endpoint::{caps, EndpointCaps, ObjClass};
 pub use harness::KernelBuilder;
 pub use kernel::{Kernel, KernelConfig};
+pub use ksim::{BlockSpan, PhaseMark, Trace, TraceEvent, TraceQuery, TraceRecord};
 pub use metrics::{
     CacheMetrics, CopyMetrics, CpuMetrics, IoMetrics, LatencyMetrics, MetricsSnapshot, NetMetrics,
     SchedMetrics, SpliceMetrics,

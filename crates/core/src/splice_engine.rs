@@ -39,7 +39,7 @@ use std::collections::HashMap;
 use kbuf::BufId;
 use khw::CopyKind;
 use kproc::{Chan, ChanSpace, Errno, Pid, SpliceLen, SyscallRet, WorkClass};
-use ksim::Dur;
+use ksim::{Dur, TraceEvent};
 
 use crate::endpoint::{Block, DstEndpoint, ReadPlan, SrcEndpoint};
 use crate::event::KWork;
@@ -72,9 +72,8 @@ impl Default for FlowControl {
     }
 }
 
-/// One active splice.
+/// One active splice, keyed by its descriptor id in `Kernel::splices`.
 pub(crate) struct SpliceDesc {
-    pub id: u64,
     pub owner: Pid,
     pub fasync: bool,
     pub src: SrcEndpoint,
@@ -225,7 +224,6 @@ impl Kernel {
         let id = self.next_splice;
         self.next_splice += 1;
         let desc = SpliceDesc {
-            id,
             owner: pid,
             fasync,
             src,
@@ -249,7 +247,12 @@ impl Kernel {
             self.sock_splices.insert(sock, id);
         }
         self.stats.bump("splice.started");
-        self.kstat.spans.start(id, self.q.now());
+        let now = self.q.now();
+        self.kstat.spans.start(id, now);
+        self.trace.emit(now, || TraceEvent::SpliceStart {
+            desc: id,
+            bytes: total,
+        });
 
         // Initial reads/pulls are issued in the caller's context.
         cpu += self.splice_issue_reads(id, IoCtx::Process);
@@ -274,6 +277,10 @@ impl Kernel {
     /// during endpoint resolution.
     pub(crate) fn splice_reject(&mut self, e: Errno) -> SyscallOutcome {
         self.stats.bump("splice.rejected");
+        let now = self.q.now();
+        self.trace.emit(now, || TraceEvent::SpliceReject {
+            errno: errno_name(e),
+        });
         SyscallOutcome::Done {
             cpu: self.cfg.machine.syscall,
             ret: SyscallRet::Err(e),
@@ -383,6 +390,8 @@ impl Kernel {
                     d.pending_reads += 1;
                     d.issued_at.insert(lblk, now);
                     self.stats.bump("splice.reads_issued");
+                    self.trace
+                        .emit(now, || TraceEvent::SpliceReadIssue { desc: id, lblk });
                     self.span_note(id, |s, now, pr, pw| s.note_read_issued(now, pr, pw));
                     self.enqueue_kwork(
                         WorkClass::Soft,
@@ -482,6 +491,7 @@ impl Kernel {
     /// else as kernel soft work.
     fn splice_block_arrived(&mut self, desc: u64, lblk: u64, block: Block) {
         let m = self.cfg.machine.clone();
+        let now = self.q.now();
         let Some(d) = self.splices.get_mut(&desc) else {
             if let Block::Buf(buf) = block {
                 self.release_buf(buf);
@@ -489,6 +499,9 @@ impl Kernel {
             return;
         };
         d.pending_reads -= 1;
+        self.trace
+            .emit(now, || TraceEvent::SpliceReadDone { desc, lblk });
+        let d = self.splices.get_mut(&desc).unwrap();
         d.pending_writes += 1;
         if let Block::Buf(buf) = &block {
             d.src_bufs.insert(lblk, *buf);
@@ -511,6 +524,8 @@ impl Kernel {
                         src_buf: buf,
                     },
                 );
+                self.trace
+                    .emit(now, || TraceEvent::CalloutArm { delay_ticks: 0 });
             }
             (DstEndpoint::File { .. }, Block::Bytes(data)) => {
                 // Byte streams append; the cursor advances at dispatch
@@ -576,6 +591,11 @@ impl Kernel {
             !finished && d.pending_reads < flow.lo_reads && d.pending_writes < flow.lo_writes;
         let (pr, pw) = (d.pending_reads, d.pending_writes);
         let now = self.q.now();
+        self.trace
+            .emit(now, || TraceEvent::SpliceWriteDone { desc, lblk });
+        if refill {
+            self.trace.emit(now, || TraceEvent::SpliceRefill { desc });
+        }
         if let Some(span) = self.kstat.spans.get_mut(desc) {
             span.note_block_done(now, bytes, pr, pw);
             if finished {
@@ -640,14 +660,34 @@ impl Kernel {
         if let Some(span) = self.kstat.spans.get_mut(desc) {
             span.note_completed(now);
         }
-        let id = self.splices[&desc].id;
-        self.trace.emit(now, || format!("splice {id} complete"));
+        self.trace.emit(now, || TraceEvent::SpliceComplete { desc });
         if fasync {
             self.splices.remove(&desc);
             self.post_sigio(owner);
         } else {
             self.wakeup(Chan::new(ChanSpace::Splice, desc));
         }
+    }
+}
+
+/// Canonical errno spelling for trace records and reports.
+pub(crate) fn errno_name(e: Errno) -> &'static str {
+    match e {
+        Errno::Enoent => "ENOENT",
+        Errno::Eexist => "EEXIST",
+        Errno::Ebadf => "EBADF",
+        Errno::Einval => "EINVAL",
+        Errno::Enospc => "ENOSPC",
+        Errno::Eisdir => "EISDIR",
+        Errno::Enotdir => "ENOTDIR",
+        Errno::Enotempty => "ENOTEMPTY",
+        Errno::Eio => "EIO",
+        Errno::Enotsup => "ENOTSUP",
+        Errno::Efbig => "EFBIG",
+        Errno::Eintr => "EINTR",
+        Errno::Eaddrinuse => "EADDRINUSE",
+        Errno::Enotconn => "ENOTCONN",
+        Errno::Emsgsize => "EMSGSIZE",
     }
 }
 

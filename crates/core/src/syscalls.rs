@@ -14,7 +14,7 @@ use kfs::{FileKind, FsError, Ino};
 use khw::CopyKind;
 use knet::{Datagram, NetErr, SockId};
 use kproc::{Chan, ChanSpace, Errno, FcntlCmd, Fd, OpenFlags, Pid, Sig, SyscallReq, SyscallRet};
-use ksim::{Dur, SimTime};
+use ksim::{Dur, SimTime, TraceEvent};
 
 use crate::event::{Event, KWork};
 use crate::kernel::{IoCtx, Kernel};
@@ -1009,6 +1009,10 @@ impl Kernel {
                     + self.cfg.machine.copy_cost(CopyKind::Net, len);
                 self.stats.add("copy.net_bytes", len as u64);
                 if let Some(dst) = tx.dst {
+                    self.trace.emit(now, || TraceEvent::NetSend {
+                        sock: sock.0,
+                        len: len as u32,
+                    });
                     let src = self.net.source_addr(sock).expect("socket exists");
                     self.q.schedule(
                         tx.arrival.max(now),
@@ -1055,8 +1059,12 @@ impl Kernel {
     /// Bottom half of datagram arrival: enqueue into the socket, then
     /// either feed a socket-sourced splice or wake sleeping receivers.
     pub(crate) fn net_rx(&mut self, dst: SockId, dgram: Datagram) {
+        let now = self.q.now();
+        let len = dgram.data.len() as u32;
         match self.net.deliver(dst, dgram) {
             knet::DeliverOutcome::Queued => {
+                self.trace
+                    .emit(now, || TraceEvent::NetDeliver { sock: dst.0, len });
                 if let Some(&desc) = self.sock_splices.get(&dst) {
                     // Re-arm the unified engine's read side: the arrival
                     // funds one more stream pull (watermarks permitting).
@@ -1071,6 +1079,8 @@ impl Kernel {
             }
             knet::DeliverOutcome::Dropped => {
                 self.stats.bump("net.rx_dropped");
+                self.trace
+                    .emit(now, || TraceEvent::NetDrop { sock: dst.0, len });
             }
         }
     }

@@ -109,6 +109,36 @@ struct Buf {
     dead: bool,
 }
 
+/// One cache occurrence for the kernel's typed trace.
+///
+/// The cache is a pure state machine with no clock, so it cannot stamp
+/// trace records itself; instead it appends to an opt-in event log that
+/// the kernel drains (and timestamps) after each dispatched event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// `bread` served `(dev, blkno)` from the cache.
+    Hit {
+        /// Device the block lives on.
+        dev: DevId,
+        /// Physical block number.
+        blkno: u64,
+    },
+    /// `bread` had to start a device read for `(dev, blkno)`.
+    Miss {
+        /// Device the block lives on.
+        dev: DevId,
+        /// Physical block number.
+        blkno: u64,
+    },
+    /// A valid block was evicted to recycle its buffer.
+    Evict {
+        /// Device the block lived on.
+        dev: DevId,
+        /// Physical block number.
+        blkno: u64,
+    },
+}
+
 /// The buffer cache. See the crate docs for the overall contract.
 pub struct Cache {
     bufs: Vec<Buf>,
@@ -120,6 +150,9 @@ pub struct Cache {
     bufsize: usize,
     pool_size: usize,
     stats: CacheStats,
+    /// Opt-in trace event log; empty and untouched unless enabled.
+    log: Vec<CacheEvent>,
+    logging: bool,
 }
 
 impl Cache {
@@ -153,7 +186,23 @@ impl Cache {
             bufsize,
             pool_size: nbufs,
             stats: CacheStats::default(),
+            log: Vec::new(),
+            logging: false,
         }
+    }
+
+    /// Enables (or disables) the trace event log. While enabled, hits,
+    /// misses, and evictions accumulate until [`Cache::take_events`].
+    pub fn set_event_log(&mut self, on: bool) {
+        self.logging = on;
+        if !on {
+            self.log.clear();
+        }
+    }
+
+    /// Drains the accumulated trace events (oldest first).
+    pub fn take_events(&mut self) -> Vec<CacheEvent> {
+        std::mem::take(&mut self.log)
     }
 
     /// The configured buffer size in bytes.
@@ -292,9 +341,15 @@ impl Cache {
                 let b = self.buf(victim);
                 b.dev.map(|d| (d, b.blkno))
             };
-            if let Some(key) = old {
-                self.hash.remove(&key);
+            if let Some((edev, eblk)) = old {
+                self.hash.remove(&(edev, eblk));
                 self.stats.evictions += 1;
+                if self.logging {
+                    self.log.push(CacheEvent::Evict {
+                        dev: edev,
+                        blkno: eblk,
+                    });
+                }
             }
             let fresh_data = {
                 let b = self.buf(victim);
@@ -332,9 +387,15 @@ impl Cache {
                 let flags = self.buf(id).flags;
                 if flags.contains(BufFlags::DONE) && !flags.contains(BufFlags::INVAL) {
                     self.stats.hits += 1;
+                    if self.logging {
+                        self.log.push(CacheEvent::Hit { dev, blkno });
+                    }
                     BreadOutcome::Hit(id)
                 } else {
                     self.stats.misses += 1;
+                    if self.logging {
+                        self.log.push(CacheEvent::Miss { dev, blkno });
+                    }
                     self.buf_mut(id).flags.insert(BufFlags::READ);
                     effects.push(Effect::StartIo {
                         buf: id,

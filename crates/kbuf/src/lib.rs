@@ -22,7 +22,7 @@ pub mod cache;
 pub mod data;
 pub mod flags;
 
-pub use cache::{BreadOutcome, Cache, CacheStats, Effect, GetblkOutcome, IoDir};
+pub use cache::{BreadOutcome, Cache, CacheEvent, CacheStats, Effect, GetblkOutcome, IoDir};
 pub use data::BufData;
 pub use flags::BufFlags;
 

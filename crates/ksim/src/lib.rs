@@ -8,7 +8,9 @@
 //! mechanism the paper uses to decouple the read and write sides of a
 //! splice, cheap named counters ([`Stats`]), structured spans/gauges and
 //! latency digests ([`kstat`]), a dependency-free JSON value ([`Json`])
-//! for the bench emitters, and an optional trace ring ([`Trace`]).
+//! for the bench emitters, and a typed trace ring ([`Trace`]) with
+//! structured tracepoints ([`TraceEvent`]), causal per-block splice
+//! spans ([`trace::BlockSpan`]), and Chrome trace-event export.
 //!
 //! Everything here is single-threaded on purpose: the simulated machine is
 //! a uniprocessor DECstation 5000/200, and determinism (same inputs → same
@@ -29,4 +31,4 @@ pub use json::Json;
 pub use kstat::{FlowSample, HistSummary, Kstat, SpliceSpan, SpliceSpans};
 pub use stats::{Hist, Stats};
 pub use time::{Dur, SimTime};
-pub use trace::Trace;
+pub use trace::{BlockSpan, PhaseMark, Trace, TraceEvent, TraceQuery, TraceRecord};

@@ -40,6 +40,11 @@ rm -f BENCH_endpoints.json
 cargo run --release -p bench --bin endpoint_matrix
 test -s BENCH_endpoints.json
 
+echo "== tracedump smoke run =="
+rm -f TRACE_scp_ram.json
+cargo run --release -p bench --bin tracedump -- scp_ram
+test -s TRACE_scp_ram.json
+
 # Parse the artifacts with the same in-tree parser the snapshot uses.
 cargo test -q --test observability snapshot_json_round_trips
 python3 - <<'EOF'
@@ -64,6 +69,11 @@ for row in rows:
     assert scp["copy"]["copyin_bytes"] == 0
     assert scp["copy"]["copyout_bytes"] == 0
     assert len(scp["splice"]["spans"]) >= 1
+    for span in scp["splice"]["spans"]:
+        # Span schema the dashboards key on: the sampled flow-control
+        # series plus the truncation marker.
+        assert isinstance(span["samples_truncated"], bool), span
+        assert isinstance(span["flow_samples"], (int, float)), span
     assert row["cp"]["metrics"]["copy"]["copyin_bytes"] > 0
 print("BENCH_table2.json: ok (%d rows)" % len(rows))
 
@@ -75,6 +85,19 @@ assert len(rows) == 12, len(rows)
 for row in rows:
     assert row["kb_per_s"] > 0, row
 print("BENCH_endpoints.json: ok (%d rows)" % len(rows))
+
+# The Chrome trace export: structurally valid and per-track monotone,
+# i.e. exactly what Perfetto / chrome://tracing require to load it.
+doc = json.load(open("TRACE_scp_ram.json"))
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents empty"
+last = {}
+for ev in events:
+    key = (ev["pid"], ev["tid"])
+    ts = ev["ts"]
+    assert ts >= last.get(key, ts), "ts regressed on track %r" % (key,)
+    last[key] = ts
+print("TRACE_scp_ram.json: ok (%d events, %d tracks)" % (len(events), len(last)))
 EOF
 
 echo "ci.sh: all green"
