@@ -24,8 +24,15 @@ impl Kernel {
         fb.read(now, want)
     }
 
-    /// Device-sink write side: paced delivery of one arrived block.
+    /// Device-sink write side: paced delivery of one arrived block. An
+    /// armed write-failure countdown on the device (injected fault)
+    /// errors the delivery and aborts the splice with `EIO`.
     pub(crate) fn splice_dev_write(&mut self, desc: u64, lblk: u64, src: Block, off: usize) {
+        // Abort drain: a held buffer is released via `src_bufs`; owned
+        // bytes just drop.
+        if self.splice_drain_write(desc, lblk, None) {
+            return;
+        }
         let now = self.q.now();
         let Some(d) = self.splices.get(&desc) else {
             if let Block::Buf(buf) = src {
@@ -43,6 +50,23 @@ impl Kernel {
         if off == 0 {
             self.trace
                 .emit(now, || TraceEvent::SpliceWriteIssue { desc, lblk });
+            // Injected device write failure: the countdown is charged
+            // once per block; a block that would overrun it fails.
+            if let Some(limit) = self.cdevs[cdev].write_fail_after {
+                if (len as u64) > limit {
+                    let d = self.splices.get_mut(&desc).unwrap();
+                    d.pending_writes -= 1;
+                    d.issued_at.remove(&lblk);
+                    d.src_bufs.remove(&lblk);
+                    if let Block::Buf(buf) = src {
+                        self.release_buf(buf);
+                    }
+                    self.stats.bump("io.errors");
+                    self.splice_abort(desc, kproc::Errno::Eio);
+                    return;
+                }
+                self.cdevs[cdev].write_fail_after = Some(limit - len as u64);
+            }
         }
         let want = len - off;
         let (accepted, retry_at) = match &mut self.cdevs[cdev].dev {

@@ -91,6 +91,12 @@ impl Kernel {
     /// Issues one block read with `bread_call` (§5.2.1). Returns the CPU
     /// cost incurred in the caller's context and whether the engine
     /// should keep issuing (false = back-off retry scheduled).
+    ///
+    /// With `retry = true` the read re-issues a block whose previous
+    /// attempt failed with a device error: the read cursor already moved
+    /// past it, so only the pending-read slot is (re)claimed, and a
+    /// transient buffer shortage re-arms the retry callout for this
+    /// specific block instead of the general issue loop.
     pub(crate) fn file_issue_read(
         &mut self,
         id: u64,
@@ -98,6 +104,7 @@ impl Kernel {
         pblk: u64,
         disk: usize,
         ctx: IoCtx,
+        retry: bool,
     ) -> (Dur, bool) {
         let m = self.cfg.machine.clone();
         let bs = self.cfg.block_size as usize;
@@ -105,7 +112,9 @@ impl Kernel {
         {
             let now = self.q.now();
             let d = self.splices.get_mut(&id).unwrap();
-            d.next_read += 1;
+            if !retry {
+                d.next_read += 1;
+            }
             d.pending_reads += 1;
             d.issued_at.insert(lblk, now);
         }
@@ -159,15 +168,21 @@ impl Kernel {
                 // Back off a tick and retry.
                 self.iodone_map.remove(&tag);
                 let d = self.splices.get_mut(&id).unwrap();
-                d.next_read -= 1;
+                if !retry {
+                    d.next_read -= 1;
+                }
                 d.pending_reads -= 1;
                 d.issued_at.remove(&lblk);
                 self.stats.bump("splice.read_backoff");
                 self.trace
                     .emit(now, || TraceEvent::SpliceBackoff { desc: id, lblk });
                 self.span_note(id, |s, _, _, _| s.note_backoff());
-                self.callout
-                    .schedule(self.tick, 1, KWork::SpliceIssueReads { desc: id });
+                let work = if retry {
+                    KWork::SpliceRetryRead { desc: id, lblk }
+                } else {
+                    KWork::SpliceIssueReads { desc: id }
+                };
+                self.callout.schedule(self.tick, 1, work);
                 (cpu, false)
             }
         }
@@ -176,6 +191,9 @@ impl Kernel {
     /// §5.2.2: the block-sink write side — allocate a header sharing the
     /// read buffer's data area and start the asynchronous write.
     pub(crate) fn splice_write(&mut self, desc: u64, lblk: u64, src_buf: kbuf::BufId) {
+        if self.splice_drain_write(desc, lblk, Some(crate::endpoint::Block::Buf(src_buf))) {
+            return;
+        }
         let Some(d) = self.splices.get(&desc) else {
             self.release_buf(src_buf);
             return;
@@ -224,9 +242,16 @@ impl Kernel {
     }
 
     /// §5.2.2–§5.2.3: the block-sink write-completion handler frees both
-    /// buffers and hands the block to the common flow-control tail.
+    /// buffers and hands the block to the common flow-control tail. A
+    /// write that completed with `B_ERROR` keeps the source buffer and
+    /// routes into the retry/abort policy instead.
     pub(crate) fn splice_write_done(&mut self, desc: u64, lblk: u64, hdr: kbuf::BufId) {
+        let failed = self.cache.flags(hdr).contains(kbuf::BufFlags::ERROR);
         self.release_buf(hdr);
+        if failed {
+            self.splice_write_failed(desc, lblk);
+            return;
+        }
         let src_buf = self
             .splices
             .get_mut(&desc)
@@ -248,6 +273,9 @@ impl Kernel {
     /// Stream-sink write side: append one arrived chunk at its
     /// preassigned offset, in kernel context.
     pub(crate) fn splice_append(&mut self, desc: u64, lblk: u64, off: u64, data: Vec<u8>) {
+        if self.splice_drain_write(desc, lblk, None) {
+            return;
+        }
         let Some(d) = self.splices.get(&desc) else {
             return;
         };

@@ -60,6 +60,11 @@ impl Kernel {
 
     /// Socket-sink write side: packetize one arrived block.
     pub(crate) fn splice_sock_write(&mut self, desc: u64, lblk: u64, src: Block) {
+        // Abort drain: a held buffer is released via `src_bufs`; owned
+        // bytes just drop.
+        if self.splice_drain_write(desc, lblk, None) {
+            return;
+        }
         let Some(d) = self.splices.get(&desc) else {
             if let Block::Buf(buf) = src {
                 self.release_buf(buf);

@@ -27,10 +27,12 @@ pub enum KWork {
         disk: usize,
         /// Buffer involved.
         buf: BufId,
-        /// Data read (for reads).
+        /// Data read (for successful reads).
         data: Option<Vec<u8>>,
         /// Direction.
         dir: IoDir,
+        /// The transfer failed (`B_ERROR` at `biodone`).
+        error: bool,
     },
     /// A RAM-disk strategy call: perform the driver `bcopy` and complete.
     RamIo {
@@ -82,6 +84,15 @@ pub enum KWork {
     SpliceIssueReads {
         /// Descriptor id.
         desc: u64,
+    },
+    /// Recovery: re-issue one mapped-source block read whose previous
+    /// attempt failed with a device error (dispatched from the callout
+    /// after the retry backoff).
+    SpliceRetryRead {
+        /// Descriptor id.
+        desc: u64,
+        /// Logical block to re-read.
+        lblk: u64,
     },
     /// Read side for stream sources: pull one chunk (a datagram or a
     /// framebuffer read) into the engine's pending-read accounting.

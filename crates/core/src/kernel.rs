@@ -91,6 +91,9 @@ pub struct Kernel {
     pub(crate) cdevs: Vec<CharDevUnit>,
     pub(crate) files: FileTable,
     pub(crate) splices: HashMap<u64, SpliceDesc>,
+    /// How finished splices ended (bytes moved + errno), kept after the
+    /// descriptor is torn down for partial-transfer audits.
+    pub(crate) splice_outcomes: HashMap<u64, crate::splice_engine::SpliceOutcome>,
     pub(crate) next_splice: u64,
     pub(crate) conts: HashMap<Pid, Cont>,
     pub(crate) pending_after: HashMap<Pid, AfterCpu>,
@@ -145,6 +148,7 @@ impl Kernel {
             cdevs: Vec::new(),
             files: FileTable::new(),
             splices: HashMap::new(),
+            splice_outcomes: HashMap::new(),
             next_splice: 1,
             conts: HashMap::new(),
             pending_after: HashMap::new(),
@@ -204,6 +208,7 @@ impl Kernel {
         self.cdevs.push(CharDevUnit {
             path: path.to_string(),
             dev,
+            write_fail_after: None,
         });
         self.cdevs.len() - 1
     }
@@ -238,6 +243,31 @@ impl Kernel {
     /// Mutable disk access (experiment setup).
     pub fn disks_mut(&mut self) -> &mut [DiskUnit] {
         &mut self.disks
+    }
+
+    /// Installs a fault plan on disk `idx` (see [`khw::FaultPlan`]). The
+    /// plan's device identity is set to the disk index so two disks
+    /// sharing a seed still fail independently.
+    pub fn set_fault_plan(&mut self, idx: usize, plan: khw::FaultPlan) {
+        let plan = plan.device(idx as u64);
+        match &mut self.disks[idx].kind {
+            DiskUnitKind::Scsi(d) => d.set_fault_plan(Some(plan)),
+            DiskUnitKind::Ram(rd) => rd.set_fault_plan(Some(plan)),
+        }
+    }
+
+    /// Arms an injected write failure on character device `cdev`: once
+    /// `bytes` more accepted bytes have been delivered, the next splice
+    /// delivery to the device fails with `EIO` and aborts its splice.
+    pub fn set_cdev_write_failure(&mut self, cdev: usize, bytes: u64) {
+        self.cdevs[cdev].write_fail_after = Some(bytes);
+    }
+
+    /// Number of armed callout entries (the `update` daemon, when
+    /// enabled, permanently holds one). Leak assertions in fault tests
+    /// check this returns to its quiescent value after an abort.
+    pub fn pending_callouts(&self) -> usize {
+        self.callout.len()
     }
 
     /// Character devices (assertions in tests and examples).
@@ -532,16 +562,20 @@ impl Kernel {
                     IoCtx::Process => {
                         // Synchronous strategy call in the caller's
                         // context: do the copy, complete inline.
-                        let cost = match dir {
+                        let (cost, error) = match dir {
                             IoDir::Read => {
-                                let (data, cost) = rd.read(sector, len);
-                                self.cache.data(buf).fill_from(&data);
-                                cost
+                                let (data, cost, error) = rd.read_checked(sector, len);
+                                if let Some(data) = data {
+                                    self.cache.data(buf).fill_from(&data);
+                                }
+                                (cost, error)
                             }
-                            IoDir::Write => rd.write(sector, &self.cache.data(buf).to_vec()),
+                            IoDir::Write => {
+                                rd.write_checked(sector, &self.cache.data(buf).to_vec())
+                            }
                         };
                         self.stats.add("copy.driver_bytes", len as u64);
-                        self.finish_io(disk_idx, buf, dir);
+                        self.finish_io(disk_idx, buf, dir, error);
                         cost
                     }
                     IoCtx::Kernel => {
@@ -563,8 +597,9 @@ impl Kernel {
     }
 
     /// Completion bookkeeping common to all devices: inflight counts,
-    /// fsync wakeups, `biodone` and handler dispatch.
-    pub(crate) fn finish_io(&mut self, disk_idx: usize, buf: BufId, dir: IoDir) {
+    /// fsync wakeups, `biodone` (with `B_ERROR` when the device failed)
+    /// and handler dispatch.
+    pub(crate) fn finish_io(&mut self, disk_idx: usize, buf: BufId, dir: IoDir, error: bool) {
         if let Some(at) = self.io_issued.remove(&buf) {
             let lat = self.q.now().since(at).as_ns();
             match dir {
@@ -580,10 +615,19 @@ impl Kernel {
             }
         }
         let now = self.q.now();
+        if error {
+            self.stats.bump("io.errors");
+            let blkno = self.cache.identity(buf).map_or(0, |(_, b)| b);
+            self.trace.emit(now, || TraceEvent::DiskError {
+                disk: disk_idx as u32,
+                blkno,
+                write: dir == IoDir::Write,
+            });
+        }
         self.trace
             .emit(now, || TraceEvent::CacheBiodone { buf: buf.0 });
         let mut fx = Vec::new();
-        let tag = self.cache.biodone(buf, false, &mut fx);
+        let tag = self.cache.biodone(buf, error, &mut fx);
         let sync = self.apply_cache_effects(fx, IoCtx::Kernel);
         debug_assert!(sync.is_zero(), "biodone must not start sync I/O");
         if let Some(tag) = tag {
@@ -919,6 +963,7 @@ impl Kernel {
             KWork::SpliceWrite { .. } => m.splice_handler + m.buf_op,
             KWork::SpliceWriteDone { .. } => m.splice_handler + m.buf_op * 2,
             KWork::SpliceIssueReads { .. } => m.splice_handler,
+            KWork::SpliceRetryRead { .. } => m.splice_handler,
             KWork::SpliceStreamPull { .. } => m.splice_handler,
             KWork::SpliceAppend { .. } => m.splice_handler + m.buf_op,
             KWork::SpliceDevWrite { .. } => m.splice_handler,
@@ -935,11 +980,12 @@ impl Kernel {
                 buf,
                 data,
                 dir,
+                error,
             } => {
                 if let (IoDir::Read, Some(d)) = (dir, data) {
                     self.cache.data(buf).fill_from(&d);
                 }
-                self.finish_io(disk, buf, dir);
+                self.finish_io(disk, buf, dir, error);
             }
             KWork::RamIo { disk, buf, dir } => {
                 // The copy cost was charged at admission; move the bytes.
@@ -955,17 +1001,18 @@ impl Kernel {
                 let DiskUnitKind::Ram(rd) = &mut self.disks[disk].kind else {
                     panic!("RamIo against a SCSI disk");
                 };
-                match dir {
+                let error = match dir {
                     IoDir::Read => {
-                        let (data, _) = rd.read(sector, len);
-                        self.cache.data(buf).fill_from(&data);
+                        let (data, _, error) = rd.read_checked(sector, len);
+                        if let Some(data) = data {
+                            self.cache.data(buf).fill_from(&data);
+                        }
+                        error
                     }
-                    IoDir::Write => {
-                        rd.write(sector, &self.cache.data(buf).to_vec());
-                    }
-                }
+                    IoDir::Write => rd.write_checked(sector, &self.cache.data(buf).to_vec()).1,
+                };
                 self.stats.add("copy.driver_bytes", len as u64);
-                self.finish_io(disk, buf, dir);
+                self.finish_io(disk, buf, dir, error);
             }
             KWork::NetRx { dst, dgram } => self.net_rx(dst, dgram),
             KWork::UpdateFlush => {
@@ -1076,6 +1123,7 @@ impl Kernel {
                         buf,
                         data: done.data,
                         dir,
+                        error: done.error,
                     },
                 );
             }

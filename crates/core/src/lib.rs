@@ -75,10 +75,11 @@ pub mod syscalls;
 pub use endpoint::{caps, EndpointCaps, ObjClass};
 pub use harness::KernelBuilder;
 pub use kernel::{Kernel, KernelConfig};
+pub use khw::{FaultOp, FaultPlan};
 pub use ksim::{BlockSpan, PhaseMark, Trace, TraceEvent, TraceQuery, TraceRecord};
 pub use metrics::{
     CacheMetrics, CopyMetrics, CpuMetrics, IoMetrics, LatencyMetrics, MetricsSnapshot, NetMetrics,
     SchedMetrics, SpliceMetrics,
 };
 pub use objects::{DiskUnitKind, FileId, FileObj};
-pub use splice_engine::FlowControl;
+pub use splice_engine::{FlowControl, SpliceOutcome, MAX_SPLICE_RETRIES};

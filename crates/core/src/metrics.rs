@@ -65,6 +65,8 @@ pub struct IoMetrics {
     pub write_bytes: u64,
     /// Sequential read-aheads triggered by `read(2)`.
     pub readaheads: u64,
+    /// Block transfers that completed with `B_ERROR` (injected faults).
+    pub errors: u64,
 }
 
 /// Buffer-cache behavior (kbuf's own counters plus the kernel's
@@ -122,6 +124,10 @@ pub struct SpliceMetrics {
     pub append_backoffs: u64,
     /// Append-path bytes dropped for lack of disk space.
     pub append_enospc: u64,
+    /// Block retries after a device error (read or write side).
+    pub retries: u64,
+    /// Splices aborted with a typed errno after retries were exhausted.
+    pub aborted: u64,
     /// Per-descriptor lifecycle spans (timestamps, gauges, samples).
     pub spans: SpliceSpans,
 }
@@ -239,7 +245,8 @@ impl MetricsSnapshot {
         let io = Json::obj()
             .with("read_bytes", Json::Num(self.io.read_bytes as f64))
             .with("write_bytes", Json::Num(self.io.write_bytes as f64))
-            .with("readaheads", Json::Num(self.io.readaheads as f64));
+            .with("readaheads", Json::Num(self.io.readaheads as f64))
+            .with("errors", Json::Num(self.io.errors as f64));
         let ca = &self.cache;
         let cache = Json::obj()
             .with("hits", Json::Num(ca.hits as f64))
@@ -264,6 +271,8 @@ impl MetricsSnapshot {
             .with("sock_send_errs", Json::Num(s.sock_send_errs as f64))
             .with("append_backoffs", Json::Num(s.append_backoffs as f64))
             .with("append_enospc", Json::Num(s.append_enospc as f64))
+            .with("retries", Json::Num(s.retries as f64))
+            .with("aborted", Json::Num(s.aborted as f64))
             .with("spans", Json::Arr(s.spans.iter().map(span_json).collect()));
         let sc = &self.sched;
         let sched = Json::obj()
@@ -368,6 +377,7 @@ impl Kernel {
                 read_bytes: st.get("io.read_bytes"),
                 write_bytes: st.get("io.write_bytes"),
                 readaheads: st.get("read.readahead"),
+                errors: st.get("io.errors"),
             },
             cache: CacheMetrics {
                 hits: cs.hits,
@@ -392,6 +402,8 @@ impl Kernel {
                 sock_send_errs: st.get("splice.sock_send_err"),
                 append_backoffs: st.get("splice.append_backoff"),
                 append_enospc: st.get("splice.append_enospc"),
+                retries: st.get("splice.retries"),
+                aborted: st.get("splice.aborted"),
                 spans: self.kstat.spans.clone(),
             },
             sched: SchedMetrics {

@@ -75,6 +75,9 @@ pub struct CharDevUnit {
     pub path: String,
     /// The device.
     pub dev: CharDev,
+    /// Injected fault: after this many more accepted bytes, the next
+    /// splice delivery to this device fails with `EIO`. `None` = never.
+    pub write_fail_after: Option<u64>,
 }
 
 /// What an open file descriptor refers to.

@@ -51,6 +51,23 @@ use crate::syscalls::{Cont, SyscallOutcome};
 /// chunk per pending-read slot).
 pub(crate) const STREAM_CHUNK: usize = 8192;
 
+/// Per-block retry budget for transient device errors. The first retry
+/// waits one tick; each further attempt doubles the backoff (1, 2, 4,
+/// 8, 16 ticks). A block that still fails after this many attempts
+/// aborts the whole splice with `EIO`.
+pub const MAX_SPLICE_RETRIES: u32 = 5;
+
+/// How a finished splice ended: how many bytes actually moved, and the
+/// errno if it aborted. Retained after the descriptor itself is torn
+/// down so tests and post-mortem tooling can audit partial transfers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpliceOutcome {
+    /// Bytes fully written to the destination before completion/abort.
+    pub bytes_moved: u64,
+    /// `None` for a clean completion, the typed errno for an abort.
+    pub error: Option<Errno>,
+}
+
 /// The §5.2.3 rate-based flow-control parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FlowControl {
@@ -98,6 +115,11 @@ pub(crate) struct SpliceDesc {
     pub issued_at: HashMap<u64, ksim::SimTime>,
     /// Append cursor for a byte-stream file sink.
     pub dst_off: u64,
+    /// Device-error retry attempts per logical block.
+    pub retries: HashMap<u64, u32>,
+    /// Set when the splice is aborting: no new work is issued and
+    /// in-flight blocks drain without counting.
+    pub error: Option<Errno>,
     pub done: bool,
 }
 
@@ -240,6 +262,8 @@ impl Kernel {
             src_bufs: HashMap::new(),
             issued_at: HashMap::new(),
             dst_off,
+            retries: HashMap::new(),
+            error: None,
             done: false,
         };
         self.splices.insert(id, desc);
@@ -288,7 +312,9 @@ impl Kernel {
     }
 
     /// A synchronous splice caller woke up: deliver the byte count if the
-    /// transfer finished, or go back to sleep.
+    /// transfer finished, or go back to sleep. An aborted splice reports
+    /// its typed errno — never a success value — and leaves the exact
+    /// partial byte count in [`Kernel::splice_outcome`].
     pub(crate) fn resume_splice_sync(&mut self, pid: Pid, desc: u64) -> SyscallOutcome {
         let done = self.splices.get(&desc).map(|d| d.done).unwrap_or(true);
         if !done {
@@ -298,14 +324,18 @@ impl Kernel {
                 chan: Chan::new(ChanSpace::Splice, desc),
             };
         }
-        let total = self
+        let (total, error) = self
             .splices
             .remove(&desc)
-            .map(|d| d.bytes_done)
-            .unwrap_or(0);
+            .map(|d| (d.bytes_done, d.error))
+            .unwrap_or((0, None));
+        let ret = match error {
+            Some(e) => SyscallRet::Err(e),
+            None => SyscallRet::Val(total as i64),
+        };
         SyscallOutcome::Done {
             cpu: self.cfg.machine.buf_op,
-            ret: SyscallRet::Val(total as i64),
+            ret,
         }
     }
 
@@ -340,7 +370,7 @@ impl Kernel {
             let Some(d) = self.splices.get(&id) else {
                 return cpu;
             };
-            if d.done || d.pending_reads >= batch {
+            if d.done || d.error.is_some() || d.pending_reads >= batch {
                 return cpu;
             }
             match &d.plan {
@@ -353,7 +383,7 @@ impl Kernel {
                     let SrcEndpoint::File { disk, .. } = d.src else {
                         unreachable!("mapped plans come from file sources")
                     };
-                    let (c, keep_going) = self.file_issue_read(id, lblk, pblk, disk, ctx);
+                    let (c, keep_going) = self.file_issue_read(id, lblk, pblk, disk, ctx, false);
                     cpu += c;
                     if !keep_going {
                         return cpu;
@@ -426,6 +456,7 @@ impl Kernel {
             KWork::SpliceIssueReads { desc } => {
                 self.splice_issue_reads(desc, IoCtx::Kernel);
             }
+            KWork::SpliceRetryRead { desc, lblk } => self.splice_retry_read(desc, lblk),
             KWork::SpliceDevWrite {
                 desc,
                 lblk,
@@ -458,12 +489,13 @@ impl Kernel {
             ReadPlan::Stream { chunk } => (*chunk as u64).min(remaining) as usize,
             ReadPlan::Mapped { .. } => panic!("stream pull on a mapped splice"),
         };
-        if d.done || want == 0 {
-            // The source closed or the target was reached while this pull
-            // was queued; release the slot.
+        if d.done || d.error.is_some() || want == 0 {
+            // The source closed, the splice is aborting, or the target
+            // was reached while this pull was queued; release the slot.
             let d = self.splices.get_mut(&desc).unwrap();
             d.pending_reads = d.pending_reads.saturating_sub(1);
             d.issued_at.remove(&lblk);
+            self.maybe_finish_abort(desc);
             return;
         }
         let payload = match src {
@@ -477,6 +509,7 @@ impl Kernel {
             let d = self.splices.get_mut(&desc).unwrap();
             d.pending_reads = d.pending_reads.saturating_sub(1);
             d.issued_at.remove(&lblk);
+            self.maybe_finish_abort(desc);
             return;
         };
         let d = self.splices.get_mut(&desc).unwrap();
@@ -492,12 +525,40 @@ impl Kernel {
     fn splice_block_arrived(&mut self, desc: u64, lblk: u64, block: Block) {
         let m = self.cfg.machine.clone();
         let now = self.q.now();
+        // A read that completed with B_ERROR never joins the write
+        // column: release the buffer (brelse discards errored buffers,
+        // so a retry re-misses and re-reads the device) and run the
+        // retry/abort policy.
+        if let Block::Buf(buf) = &block {
+            let buf = *buf;
+            if self.cache.flags(buf).contains(kbuf::BufFlags::ERROR) {
+                self.release_buf(buf);
+                if self.splices.contains_key(&desc) {
+                    let d = self.splices.get_mut(&desc).unwrap();
+                    d.pending_reads -= 1;
+                    d.issued_at.remove(&lblk);
+                    self.splice_read_failed(desc, lblk);
+                }
+                return;
+            }
+        }
         let Some(d) = self.splices.get_mut(&desc) else {
             if let Block::Buf(buf) = block {
                 self.release_buf(buf);
             }
             return;
         };
+        // Abort drain: the slot is dropped and the block discarded
+        // without dispatching its write.
+        if d.error.is_some() {
+            d.pending_reads -= 1;
+            d.issued_at.remove(&lblk);
+            if let Block::Buf(buf) = block {
+                self.release_buf(buf);
+            }
+            self.maybe_finish_abort(desc);
+            return;
+        }
         d.pending_reads -= 1;
         self.trace
             .emit(now, || TraceEvent::SpliceReadDone { desc, lblk });
@@ -583,12 +644,19 @@ impl Kernel {
         d.blocks_done += 1;
         d.bytes_done += bytes;
         let issued = d.issued_at.remove(&lblk);
-        let finished = match &d.plan {
-            ReadPlan::Mapped { src_map, .. } => d.blocks_done == src_map.len(),
-            ReadPlan::Stream { .. } => d.bytes_done >= d.total,
-        };
-        let refill =
-            !finished && d.pending_reads < flow.lo_reads && d.pending_writes < flow.lo_writes;
+        // A write that lands while the splice is aborting still moved
+        // its bytes (they count toward the partial-transfer total) but
+        // never refills or finishes; the abort tail completes instead.
+        let aborting = d.error.is_some();
+        let finished = !aborting
+            && match &d.plan {
+                ReadPlan::Mapped { src_map, .. } => d.blocks_done == src_map.len(),
+                ReadPlan::Stream { .. } => d.bytes_done >= d.total,
+            };
+        let refill = !aborting
+            && !finished
+            && d.pending_reads < flow.lo_reads
+            && d.pending_writes < flow.lo_writes;
         let (pr, pw) = (d.pending_reads, d.pending_writes);
         let now = self.q.now();
         self.trace
@@ -617,7 +685,214 @@ impl Kernel {
             let cost =
                 self.cfg.machine.splice_handler + self.cfg.machine.buf_op * flow.batch as u64;
             self.enqueue_kwork(WorkClass::Soft, cost, KWork::SpliceIssueReads { desc });
+        } else if aborting {
+            self.maybe_finish_abort(desc);
         }
+    }
+
+    // ----- failure handling: retry, backoff, abort ------------------------------
+
+    /// A mapped-source block read completed with `B_ERROR`. The caller
+    /// already dropped the pending-read slot and released the buffer;
+    /// this counts the attempt and either arms the backoff retry callout
+    /// or aborts the splice with `EIO`.
+    fn splice_read_failed(&mut self, desc: u64, lblk: u64) {
+        let now = self.q.now();
+        let Some(d) = self.splices.get_mut(&desc) else {
+            return;
+        };
+        if d.error.is_some() {
+            self.maybe_finish_abort(desc);
+            return;
+        }
+        let attempt = {
+            let a = d.retries.entry(lblk).or_insert(0);
+            *a += 1;
+            *a
+        };
+        if attempt > MAX_SPLICE_RETRIES {
+            self.splice_abort(desc, Errno::Eio);
+            return;
+        }
+        self.stats.bump("splice.retries");
+        self.trace.emit(now, || TraceEvent::SpliceRetry {
+            desc,
+            lblk,
+            attempt,
+        });
+        self.span_note(desc, |s, _, _, _| s.note_backoff());
+        // Exponential backoff: 1, 2, 4, 8, 16 ticks.
+        let delay = 1u64 << (attempt - 1);
+        self.callout
+            .schedule(self.tick, delay, KWork::SpliceRetryRead { desc, lblk });
+        self.trace
+            .emit(now, || TraceEvent::CalloutArm { delay_ticks: delay });
+    }
+
+    /// Backoff expiry: re-issue one failed mapped-source read. The read
+    /// cursor moved past this block when it was first issued, so the
+    /// re-issue must not advance it again (`retry = true`).
+    fn splice_retry_read(&mut self, desc: u64, lblk: u64) {
+        let Some(d) = self.splices.get(&desc) else {
+            return;
+        };
+        if d.done {
+            return;
+        }
+        if d.error.is_some() {
+            self.maybe_finish_abort(desc);
+            return;
+        }
+        let (pblk, disk) = match (&d.plan, d.src) {
+            (ReadPlan::Mapped { src_map, .. }, SrcEndpoint::File { disk, .. }) => {
+                (src_map[lblk as usize], disk)
+            }
+            _ => unreachable!("read retries are armed for mapped sources only"),
+        };
+        self.file_issue_read(desc, lblk, pblk, disk, IoCtx::Kernel, true);
+    }
+
+    /// A block-sink shared-header write completed with `B_ERROR`. The
+    /// source buffer is still held in `src_bufs` and block rewrites are
+    /// idempotent (a torn write is overwritten wholesale on the next
+    /// attempt), so a retry re-runs just the write side of this block.
+    pub(crate) fn splice_write_failed(&mut self, desc: u64, lblk: u64) {
+        let now = self.q.now();
+        let Some(d) = self.splices.get_mut(&desc) else {
+            return;
+        };
+        let src_buf = d.src_bufs.get(&lblk).copied();
+        if d.error.is_some() {
+            // Abort drain: drop the slot and the held source buffer.
+            d.pending_writes -= 1;
+            d.issued_at.remove(&lblk);
+            d.src_bufs.remove(&lblk);
+            if let Some(buf) = src_buf {
+                self.release_buf(buf);
+            }
+            self.maybe_finish_abort(desc);
+            return;
+        }
+        let attempt = {
+            let a = d.retries.entry(lblk).or_insert(0);
+            *a += 1;
+            *a
+        };
+        if attempt > MAX_SPLICE_RETRIES {
+            // This block's write has terminally failed: nothing further
+            // will arrive for it, so surrender its slot before aborting
+            // (the abort completes once the *other* in-flight blocks
+            // drain).
+            d.pending_writes -= 1;
+            d.issued_at.remove(&lblk);
+            d.src_bufs.remove(&lblk);
+            if let Some(buf) = src_buf {
+                self.release_buf(buf);
+            }
+            self.splice_abort(desc, Errno::Eio);
+            return;
+        }
+        let Some(src_buf) = src_buf else {
+            // The source buffer vanished (teardown race): drop the slot.
+            d.pending_writes -= 1;
+            d.issued_at.remove(&lblk);
+            return;
+        };
+        self.stats.bump("splice.retries");
+        self.trace.emit(now, || TraceEvent::SpliceRetry {
+            desc,
+            lblk,
+            attempt,
+        });
+        self.span_note(desc, |s, _, _, _| s.note_backoff());
+        let delay = 1u64 << (attempt - 1);
+        self.callout.schedule(
+            self.tick,
+            delay,
+            KWork::SpliceWrite {
+                desc,
+                lblk,
+                src_buf,
+            },
+        );
+        self.trace
+            .emit(now, || TraceEvent::CalloutArm { delay_ticks: delay });
+    }
+
+    /// Abort-drain check for write-side handlers: if the splice is
+    /// aborting, discard the block, surrender its pending-write slot and
+    /// any held source buffer, and try to finish the abort. Returns true
+    /// when the work was drained (the handler must return immediately).
+    pub(crate) fn splice_drain_write(
+        &mut self,
+        desc: u64,
+        lblk: u64,
+        block: Option<Block>,
+    ) -> bool {
+        let aborting = self
+            .splices
+            .get(&desc)
+            .map(|d| d.error.is_some())
+            .unwrap_or(false);
+        if !aborting {
+            return false;
+        }
+        let d = self.splices.get_mut(&desc).unwrap();
+        d.pending_writes -= 1;
+        d.issued_at.remove(&lblk);
+        let held = d.src_bufs.remove(&lblk);
+        if let Some(buf) = held {
+            self.release_buf(buf);
+        } else if let Some(Block::Buf(buf)) = block {
+            self.release_buf(buf);
+        }
+        self.maybe_finish_abort(desc);
+        true
+    }
+
+    /// Transitions a splice into the aborting state: the typed errno is
+    /// recorded, no further reads are issued, and in-flight work drains
+    /// without refilling. Completion (buffer release, wakeup/`SIGIO`) is
+    /// deferred until the last in-flight block lands.
+    pub(crate) fn splice_abort(&mut self, desc: u64, e: Errno) {
+        let Some(d) = self.splices.get_mut(&desc) else {
+            return;
+        };
+        if d.done || d.error.is_some() {
+            return;
+        }
+        d.error = Some(e);
+        self.stats.bump("splice.aborted");
+        let now = self.q.now();
+        self.trace.emit(now, || TraceEvent::SpliceAbort {
+            desc,
+            errno: errno_name(e),
+        });
+        self.maybe_finish_abort(desc);
+    }
+
+    /// Completes an aborting splice once nothing is in flight, releasing
+    /// every still-held source buffer so the cache leaks nothing.
+    pub(crate) fn maybe_finish_abort(&mut self, desc: u64) {
+        let Some(d) = self.splices.get_mut(&desc) else {
+            return;
+        };
+        if d.error.is_none() || d.done || d.pending_reads != 0 || d.pending_writes != 0 {
+            return;
+        }
+        let bufs: Vec<BufId> = d.src_bufs.drain().map(|(_, b)| b).collect();
+        d.issued_at.clear();
+        for b in bufs {
+            self.release_buf(b);
+        }
+        self.complete_splice(desc);
+    }
+
+    /// How splice `desc` ended, if it has completed (successfully or by
+    /// abort). `None` while the splice is still in flight or for unknown
+    /// descriptor ids.
+    pub fn splice_outcome(&self, desc: u64) -> Option<SpliceOutcome> {
+        self.splice_outcomes.get(&desc).copied()
     }
 
     /// Source closed mid-splice = EOF: clamp the target to what was
@@ -643,11 +918,19 @@ impl Kernel {
         let Some(d) = self.splices.get_mut(&desc) else {
             return;
         };
+        if d.done {
+            return;
+        }
         d.done = true;
         let owner = d.owner;
         let fasync = d.fasync;
         let dst = d.dst;
         let src = d.src;
+        let outcome = SpliceOutcome {
+            bytes_moved: d.bytes_done,
+            error: d.error,
+        };
+        self.splice_outcomes.insert(desc, outcome);
         if let DstEndpoint::Dev { cdev } = dst {
             if let CharDev::Audio(a) = &mut self.cdevs[cdev].dev {
                 a.end_stream(now);
@@ -656,7 +939,9 @@ impl Kernel {
         if let SrcEndpoint::Sock { sock } = src {
             self.sock_splices.remove(&sock);
         }
-        self.stats.bump("splice.completed");
+        if outcome.error.is_none() {
+            self.stats.bump("splice.completed");
+        }
         if let Some(span) = self.kstat.spans.get_mut(desc) {
             span.note_completed(now);
         }

@@ -25,6 +25,7 @@
 
 use ksim::{Dur, SimTime};
 
+use crate::fault::{FaultDecision, FaultPlan};
 use crate::profile::{DiskKind, DiskProfile, SECTOR_SIZE};
 use crate::store::SparseStore;
 
@@ -53,12 +54,16 @@ pub struct IoDone {
     pub token: u64,
     /// Host CPU consumed moving the data (pseudo-DMA bounce copy).
     pub host_cpu: Dur,
-    /// Data read (for [`IoOp::Read`]; `None` for writes).
+    /// Data read (for [`IoOp::Read`]; `None` for writes and for reads
+    /// that failed).
     pub data: Option<Vec<u8>>,
     /// True if a read was served from the drive's read-ahead cache
     /// (possibly waiting for the fill to catch up) rather than by a
     /// mechanical access.
     pub cache_hit: bool,
+    /// True if the request failed (injected fault): the `B_ERROR` the
+    /// completion interrupt hands to `biodone`.
+    pub error: bool,
 }
 
 struct Pending {
@@ -111,6 +116,7 @@ pub struct Disk {
     windows: Vec<RaWindow>,
     use_clock: u64,
     stats: DiskStats,
+    fault: Option<FaultPlan>,
 }
 
 impl Disk {
@@ -126,6 +132,25 @@ impl Disk {
             windows: Vec::new(),
             use_clock: 0,
             stats: DiskStats::default(),
+            fault: None,
+        }
+    }
+
+    /// Installs (or clears) the fault plan consulted at service time.
+    /// Direct store accessors bypass it.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The installed fault plan, if any (to inspect `injected()`).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    fn decide_fault(&mut self, write: bool, sector: u64, nsec: u64) -> FaultDecision {
+        match &mut self.fault {
+            Some(plan) => plan.decide(write, sector, nsec),
+            None => FaultDecision::CLEAN,
         }
     }
 
@@ -337,6 +362,7 @@ impl Disk {
     ) -> (SimTime, IoDone) {
         let end = sector + nsec;
         let use_clock = self.use_clock;
+        let fd = self.decide_fault(false, sector, nsec);
 
         // Look for a read-ahead segment covering (or about to cover) the
         // range: the request start must be retained and inside the fill cap.
@@ -387,14 +413,21 @@ impl Disk {
             (finish, false)
         };
 
-        let data = self.store.read_vec(sector * SECTOR_SIZE as u64, len);
+        // A faulted read spent its service time (plus any spike) but
+        // delivers no data: the interrupt reports B_ERROR instead.
+        let data = if fd.error {
+            None
+        } else {
+            Some(self.store.read_vec(sector * SECTOR_SIZE as u64, len))
+        };
         (
-            finish,
+            finish + fd.extra_latency,
             IoDone {
                 token,
                 host_cpu: self.host_cpu(len),
-                data: Some(data),
+                data,
                 cache_hit,
+                error: fd.error,
             },
         )
     }
@@ -427,18 +460,28 @@ impl Disk {
             + Dur::for_bytes(len as u64, self.profile.media_bps);
 
         // A write lands on the medium and invalidates any overlapping
-        // read-ahead data.
-        self.store.write(sector * SECTOR_SIZE as u64, data);
+        // read-ahead data. A faulted write persists only its torn-sector
+        // prefix (possibly nothing) before the error.
+        let fd = self.decide_fault(true, sector, nsec);
+        if fd.error {
+            let keep = fd.torn_sectors.unwrap_or(0) as usize * SECTOR_SIZE;
+            if keep > 0 {
+                self.store.write(sector * SECTOR_SIZE as u64, &data[..keep]);
+            }
+        } else {
+            self.store.write(sector * SECTOR_SIZE as u64, data);
+        }
         let end = sector + nsec;
         self.windows.retain(|w| end <= w.lo || sector >= w.cap);
 
         (
-            finish,
+            finish + fd.extra_latency,
             IoDone {
                 token,
                 host_cpu: self.host_cpu(len),
                 data: None,
                 cache_hit: false,
+                error: fd.error,
             },
         )
     }
@@ -666,6 +709,63 @@ mod tests {
     fn stray_completion_rejected() {
         let mut d = Disk::new(DiskProfile::rz56());
         d.complete(SimTime::ZERO);
+    }
+
+    #[test]
+    fn faulted_read_reports_error_without_data() {
+        use crate::fault::{FaultOp, FaultPlan};
+        let mut d = Disk::new(DiskProfile::rz56());
+        d.set_fault_plan(Some(FaultPlan::new(1).transient_eio_at(
+            FaultOp::Read,
+            0,
+            1,
+        )));
+        let (_, done) = run_one(&mut d, SimTime::ZERO, IoOp::Read, 0, None);
+        assert!(done.error);
+        assert!(done.data.is_none());
+        let (_, done) = run_one(&mut d, t(100), IoOp::Read, 0, None);
+        assert!(!done.error, "transient fault clears on retry");
+        assert!(done.data.is_some());
+    }
+
+    #[test]
+    fn latency_spike_delays_completion() {
+        use crate::fault::{FaultOp, FaultPlan};
+        let mut clean = Disk::new(DiskProfile::rz56());
+        let (f0, _) = run_one(&mut clean, SimTime::ZERO, IoOp::Read, 0, None);
+        let mut d = Disk::new(DiskProfile::rz56());
+        d.set_fault_plan(Some(FaultPlan::new(1).latency_spike(
+            FaultOp::Read,
+            1.0,
+            Dur::from_ms(40),
+        )));
+        let (f1, done) = run_one(&mut d, SimTime::ZERO, IoOp::Read, 0, None);
+        assert!(!done.error);
+        assert_eq!(f1, f0 + Dur::from_ms(40));
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_then_errors() {
+        use crate::fault::FaultPlan;
+        let mut d = Disk::new(DiskProfile::rz58());
+        let base = vec![0xAAu8; BLK];
+        let (f1, _) = run_one(&mut d, SimTime::ZERO, IoOp::Write, 0, Some(base));
+        d.set_fault_plan(Some(FaultPlan::new(1).torn_write(0, 4)));
+        let (f2, done) = run_one(&mut d, f1, IoOp::Write, 0, Some(vec![0x55u8; BLK]));
+        assert!(done.error);
+        let on_disk = d.store().read_vec(0, BLK);
+        assert_eq!(
+            &on_disk[..4 * SECTOR_SIZE],
+            &vec![0x55u8; 4 * SECTOR_SIZE][..]
+        );
+        assert_eq!(
+            &on_disk[4 * SECTOR_SIZE..],
+            &vec![0xAAu8; BLK - 4 * SECTOR_SIZE][..]
+        );
+        // The tear is one-shot: the retry lands cleanly.
+        let (_, done) = run_one(&mut d, f2, IoOp::Write, 0, Some(vec![0x55u8; BLK]));
+        assert!(!done.error);
+        assert_eq!(d.store().read_vec(0, BLK), vec![0x55u8; BLK]);
     }
 
     #[test]

@@ -19,13 +19,18 @@
 //!   driver as a bottleneck, §6.4).
 //! * [`ramdisk`] — the 16 MB RAM disk driver whose "transfer" is a CPU
 //!   `bcopy` from statically allocated kernel memory.
+//! * [`fault`] — deterministic, seedable fault injection ([`FaultPlan`]):
+//!   transient EIO, permanent bad blocks, torn writes, latency spikes,
+//!   keyed by (device, sector, op, occurrence) so failures replay.
 
 pub mod disk;
+pub mod fault;
 pub mod profile;
 pub mod ramdisk;
 pub mod store;
 
 pub use disk::{Disk, IoDone, IoOp};
+pub use fault::{FaultDecision, FaultOp, FaultPlan};
 pub use profile::{CopyKind, DiskKind, DiskProfile, MachineProfile, SECTOR_SIZE};
 pub use ramdisk::RamDisk;
 pub use store::SparseStore;

@@ -14,6 +14,7 @@
 
 use ksim::Dur;
 
+use crate::fault::{FaultDecision, FaultPlan};
 use crate::profile::{DiskProfile, SECTOR_SIZE};
 use crate::store::SparseStore;
 
@@ -31,6 +32,7 @@ pub struct RamDisk {
     profile: DiskProfile,
     store: SparseStore,
     stats: RamDiskStats,
+    fault: Option<FaultPlan>,
 }
 
 impl RamDisk {
@@ -50,7 +52,20 @@ impl RamDisk {
             profile,
             store,
             stats: RamDiskStats::default(),
+            fault: None,
         }
+    }
+
+    /// Installs (or clears) the fault plan consulted by the checked
+    /// access paths. Plain [`RamDisk::read`]/[`RamDisk::write`] and the
+    /// direct store accessors bypass it.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The installed fault plan, if any (to inspect `injected()`).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// The profile this RAM disk was built from.
@@ -112,6 +127,57 @@ impl RamDisk {
         self.stats.bytes += data.len() as u64;
         self.copy_cost(data.len())
     }
+
+    /// Fault-aware read: like [`RamDisk::read`], but consults the
+    /// installed [`FaultPlan`]. On error the data is not returned (the
+    /// transfer never reached the caller's buffer) but the `bcopy` CPU
+    /// was still spent; latency spikes stretch the returned cost.
+    ///
+    /// Returns `(data, cost, error)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range requests.
+    pub fn read_checked(&mut self, sector: u64, len: usize) -> (Option<Vec<u8>>, Dur, bool) {
+        let d = self.decide(false, sector, len);
+        let (data, cost) = self.read(sector, len);
+        let cost = cost + d.extra_latency;
+        if d.error {
+            (None, cost, true)
+        } else {
+            (Some(data), cost, false)
+        }
+    }
+
+    /// Fault-aware write: like [`RamDisk::write`], but consults the
+    /// installed [`FaultPlan`]. A torn write persists only the decided
+    /// sector prefix before reporting the error.
+    ///
+    /// Returns `(cost, error)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range requests.
+    pub fn write_checked(&mut self, sector: u64, data: &[u8]) -> (Dur, bool) {
+        let d = self.decide(true, sector, data.len());
+        if d.error {
+            let keep = d.torn_sectors.unwrap_or(0) as usize * SECTOR_SIZE;
+            if keep > 0 {
+                self.store.write(sector * SECTOR_SIZE as u64, &data[..keep]);
+            }
+            self.stats.requests += 1;
+            (self.copy_cost(data.len()) + d.extra_latency, true)
+        } else {
+            (self.write(sector, data) + d.extra_latency, false)
+        }
+    }
+
+    fn decide(&mut self, write: bool, sector: u64, len: usize) -> FaultDecision {
+        match &mut self.fault {
+            Some(plan) => plan.decide(write, sector, (len / SECTOR_SIZE) as u64),
+            None => FaultDecision::CLEAN,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +234,39 @@ mod tests {
     #[should_panic(expected = "RAM profile")]
     fn scsi_profile_rejected() {
         RamDisk::new(DiskProfile::rz56());
+    }
+
+    #[test]
+    fn checked_read_fails_then_recovers_per_plan() {
+        use crate::fault::{FaultOp, FaultPlan};
+        let mut rd = RamDisk::new(DiskProfile::ramdisk());
+        rd.set_fault_plan(Some(FaultPlan::new(3).transient_eio_at(
+            FaultOp::Read,
+            16,
+            1,
+        )));
+        rd.write(16, &vec![7u8; 8192]);
+        let (data, _, err) = rd.read_checked(16, 8192);
+        assert!(err && data.is_none());
+        let (data, _, err) = rd.read_checked(16, 8192);
+        assert!(!err);
+        assert_eq!(data.unwrap(), vec![7u8; 8192]);
+        assert_eq!(rd.fault_plan().unwrap().injected(), 1);
+    }
+
+    #[test]
+    fn checked_torn_write_persists_only_prefix() {
+        use crate::fault::FaultPlan;
+        let mut rd = RamDisk::new(DiskProfile::ramdisk());
+        rd.write(0, &vec![0xAAu8; 8192]);
+        rd.set_fault_plan(Some(FaultPlan::new(3).torn_write(0, 2)));
+        let (_, err) = rd.write_checked(0, &vec![0x55u8; 8192]);
+        assert!(err);
+        let (got, _) = rd.read(0, 8192);
+        assert_eq!(&got[..2 * SECTOR_SIZE], &vec![0x55u8; 2 * SECTOR_SIZE][..]);
+        assert_eq!(
+            &got[2 * SECTOR_SIZE..],
+            &vec![0xAAu8; 8192 - 2 * SECTOR_SIZE][..]
+        );
     }
 }

@@ -106,6 +106,15 @@ pub enum TraceEvent {
         /// Completed request token.
         token: u64,
     },
+    /// A device transfer failed: `biodone` ran with `B_ERROR` set.
+    DiskError {
+        /// Disk index.
+        disk: u32,
+        /// Physical block number of the failed buffer (0 if unknown).
+        blkno: u64,
+        /// True for writes, false for reads.
+        write: bool,
+    },
     /// A callout entry was armed.
     CalloutArm {
         /// Ticks until it fires (0 = head of the list, next softclock).
@@ -191,6 +200,24 @@ pub enum TraceEvent {
         /// Logical block that backed off.
         lblk: u64,
     },
+    /// Recovery: a failed block read/write is being retried after its
+    /// exponential-backoff delay.
+    SpliceRetry {
+        /// Splice descriptor id.
+        desc: u64,
+        /// Logical block being retried.
+        lblk: u64,
+        /// Attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// Recovery exhausted: the transfer is aborting with a typed errno
+    /// and will drain its in-flight blocks before completing.
+    SpliceAbort {
+        /// Splice descriptor id.
+        desc: u64,
+        /// The errno delivered, e.g. `"EIO"`.
+        errno: &'static str,
+    },
     /// The transfer finished (`SIGIO` or synchronous wakeup follows).
     SpliceComplete {
         /// Splice descriptor id.
@@ -214,6 +241,7 @@ impl TraceEvent {
             TraceEvent::CacheBiodone { .. } => "cache.biodone",
             TraceEvent::DiskIssue { .. } => "disk.issue",
             TraceEvent::DiskIntr { .. } => "disk.intr",
+            TraceEvent::DiskError { .. } => "disk.error",
             TraceEvent::CalloutArm { .. } => "callout.arm",
             TraceEvent::CalloutFire { .. } => "callout.fire",
             TraceEvent::NetSend { .. } => "net.send",
@@ -227,6 +255,8 @@ impl TraceEvent {
             TraceEvent::SpliceWriteDone { .. } => "splice.write_done",
             TraceEvent::SpliceRefill { .. } => "splice.refill",
             TraceEvent::SpliceBackoff { .. } => "splice.backoff",
+            TraceEvent::SpliceRetry { .. } => "splice.retry",
+            TraceEvent::SpliceAbort { .. } => "splice.abort",
             TraceEvent::SpliceComplete { .. } => "splice.complete",
         }
     }
@@ -255,7 +285,9 @@ impl TraceEvent {
             | TraceEvent::CacheMiss { .. }
             | TraceEvent::CacheEvict { .. }
             | TraceEvent::CacheBiodone { .. } => ("cache", 2),
-            TraceEvent::DiskIssue { .. } | TraceEvent::DiskIntr { .. } => ("disk", 3),
+            TraceEvent::DiskIssue { .. }
+            | TraceEvent::DiskIntr { .. }
+            | TraceEvent::DiskError { .. } => ("disk", 3),
             TraceEvent::CalloutArm { .. } | TraceEvent::CalloutFire { .. } => ("callout", 4),
             TraceEvent::NetSend { .. }
             | TraceEvent::NetDeliver { .. }
@@ -296,6 +328,10 @@ impl TraceEvent {
             TraceEvent::DiskIntr { disk, token } => Json::obj()
                 .with("disk", num(disk as u64))
                 .with("token", num(token)),
+            TraceEvent::DiskError { disk, blkno, write } => Json::obj()
+                .with("disk", num(disk as u64))
+                .with("blkno", num(blkno))
+                .with("write", Json::Bool(write)),
             TraceEvent::CalloutArm { delay_ticks } => {
                 Json::obj().with("delay_ticks", num(delay_ticks))
             }
@@ -318,6 +354,17 @@ impl TraceEvent {
             | TraceEvent::SpliceBackoff { desc, lblk } => {
                 Json::obj().with("desc", num(desc)).with("lblk", num(lblk))
             }
+            TraceEvent::SpliceRetry {
+                desc,
+                lblk,
+                attempt,
+            } => Json::obj()
+                .with("desc", num(desc))
+                .with("lblk", num(lblk))
+                .with("attempt", num(attempt as u64)),
+            TraceEvent::SpliceAbort { desc, errno } => Json::obj()
+                .with("desc", num(desc))
+                .with("errno", Json::Str(errno.into())),
             TraceEvent::SpliceRefill { desc } | TraceEvent::SpliceComplete { desc } => {
                 Json::obj().with("desc", num(desc))
             }
@@ -348,6 +395,10 @@ impl fmt::Display for TraceEvent {
                 write!(f, " disk={disk} blkno={blkno} len={len} dir={dir}")
             }
             TraceEvent::DiskIntr { disk, token } => write!(f, " disk={disk} token={token}"),
+            TraceEvent::DiskError { disk, blkno, write } => {
+                let dir = if write { "write" } else { "read" };
+                write!(f, " disk={disk} blkno={blkno} dir={dir}")
+            }
             TraceEvent::CalloutArm { delay_ticks } => write!(f, " delay_ticks={delay_ticks}"),
             TraceEvent::CalloutFire { tick } => write!(f, " tick={tick}"),
             TraceEvent::NetSend { sock, len }
@@ -360,6 +411,14 @@ impl fmt::Display for TraceEvent {
             | TraceEvent::SpliceWriteIssue { desc, lblk }
             | TraceEvent::SpliceWriteDone { desc, lblk }
             | TraceEvent::SpliceBackoff { desc, lblk } => write!(f, " desc={desc} lblk={lblk}"),
+            TraceEvent::SpliceRetry {
+                desc,
+                lblk,
+                attempt,
+            } => {
+                write!(f, " desc={desc} lblk={lblk} attempt={attempt}")
+            }
+            TraceEvent::SpliceAbort { desc, errno } => write!(f, " desc={desc} errno={errno}"),
             TraceEvent::SpliceRefill { desc } | TraceEvent::SpliceComplete { desc } => {
                 write!(f, " desc={desc}")
             }

@@ -25,6 +25,15 @@ for ex in quickstart movie_player network_relay framebuffer_stream cpu_availabil
     cargo run -q --release --example "$ex"
 done
 
+echo "== fault suite, fixed seeds =="
+cargo test -q --test faults
+
+echo "== fault suite, randomized seed =="
+FAULT_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
+echo "-- FAULT_SEED=$FAULT_SEED"
+FAULT_SEED="$FAULT_SEED" cargo test -q --test faults any_seed_transient_faults_recover ||
+    { echo "fault suite FAILED with FAULT_SEED=$FAULT_SEED (export it to reproduce)"; exit 1; }
+
 echo "== table1 smoke run =="
 rm -f BENCH_table1.json
 cargo run --release -p bench --bin table1
@@ -39,6 +48,11 @@ echo "== endpoint matrix smoke run =="
 rm -f BENCH_endpoints.json
 cargo run --release -p bench --bin endpoint_matrix
 test -s BENCH_endpoints.json
+
+echo "== fault sweep smoke run =="
+rm -f BENCH_faults.json
+cargo run --release -p bench --bin faults
+test -s BENCH_faults.json
 
 echo "== tracedump smoke run =="
 rm -f TRACE_scp_ram.json
@@ -85,6 +99,23 @@ assert len(rows) == 12, len(rows)
 for row in rows:
     assert row["kb_per_s"] > 0, row
 print("BENCH_endpoints.json: ok (%d rows)" % len(rows))
+
+doc = json.load(open("BENCH_faults.json"))
+assert doc["table"] == "faults", doc.get("table")
+rows = doc["rows"]
+assert len(rows) == 5, len(rows)
+base = rows[0]
+assert base["rate"] == 0 and base["errors"] == 0 and base["retries"] == 0, base
+for row in rows:
+    # Transient faults always recover: no row may abort, and every
+    # injected error must surface as a retry.
+    assert row["aborted"] == 0, row
+    assert row["retries"] == row["errors"], row
+    if row["rate"] > 0:
+        assert row["retries"] > 0, row
+    # Recovery stays cheap: within 25% of fault-free throughput.
+    assert row["kb_per_s"] >= 0.75 * base["kb_per_s"], row
+print("BENCH_faults.json: ok (%d rows)" % len(rows))
 
 # The Chrome trace export: structurally valid and per-track monotone,
 # i.e. exactly what Perfetto / chrome://tracing require to load it.

@@ -6,9 +6,10 @@
 // builds skip the property suites).
 #![cfg(feature = "props")]
 
-use khw::DiskProfile;
-use kproc::programs::{Cp, Scp, ScpMode};
-use kproc::ProcState;
+use kdev::{AudioDac, VideoDac};
+use khw::{DiskProfile, FaultOp, FaultPlan};
+use kproc::programs::{Cp, EndSpec, EndpointPair, Scp, ScpMode};
+use kproc::{Errno, ProcState, SpliceLen, SyscallRet};
 use proptest::prelude::*;
 use splice::{FlowControl, KernelBuilder};
 
@@ -69,6 +70,83 @@ proptest! {
         bs_shift in 12u32..15, // 4 KB, 8 KB, 16 KB
     ) {
         splice_copy_roundtrip(len, 11, FlowControl::default(), 1 << bs_shift);
+    }
+
+    /// Failure-semantics contract under arbitrary seeded fault plans,
+    /// across the endpoint matrix rows that touch a disk: every splice
+    /// either completes byte-exact or returns the documented `EIO` with
+    /// `bytes_moved <= requested` — and every block span in the trace is
+    /// well-formed (no half-open read/write pairs left behind).
+    #[test]
+    fn faulty_splices_complete_or_fail_with_documented_errno(
+        len_blocks in 1u64..32,
+        plan_seed in any::<u64>(),
+        read_permille in 0u32..100,
+        write_permille in 0u32..50,
+        dst_pick in 0usize..3,
+    ) {
+        let read_rate = f64::from(read_permille) / 1000.0;
+        let write_rate = f64::from(write_permille) / 1000.0;
+        let total = len_blocks * 8192;
+        let mut k = KernelBuilder::paper_machine(DiskProfile::ramdisk())
+            .audio_dac("/dev/speaker", AudioDac::new(2_000_000, 256 * 1024))
+            .video_dac("/dev/video_dac", VideoDac::new(8192))
+            .tune(|cfg| cfg.update_interval = None)
+            .trace(1 << 18)
+            .build();
+        k.setup_file("/d0/src", total, 23);
+        k.cold_cache();
+        k.set_fault_plan(
+            0,
+            FaultPlan::new(plan_seed).transient_eio(FaultOp::Read, read_rate),
+        );
+        k.set_fault_plan(
+            1,
+            FaultPlan::new(plan_seed ^ 0x9e37).transient_eio(FaultOp::Write, write_rate),
+        );
+
+        let dst_spec = match dst_pick {
+            0 => EndSpec::create("/d1/dst"),
+            1 => EndSpec::write("/dev/speaker"),
+            _ => EndSpec::write("/dev/video_dac"),
+        };
+        let (pair, result) = EndpointPair::new(
+            EndSpec::read("/d0/src"),
+            dst_spec,
+            SpliceLen::Bytes(total),
+        );
+        let pid = k.spawn(Box::new(pair));
+        let horizon = k.horizon(600);
+        k.run_to_exit(horizon);
+
+        prop_assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+        let got = result.borrow().clone().expect("splice returned");
+        let out = k.splice_outcome(1).expect("outcome recorded");
+        let q = k.trace().query();
+        match got {
+            SyscallRet::Val(n) => {
+                prop_assert_eq!(n as u64, total, "short success is forbidden");
+                prop_assert_eq!(out.bytes_moved, total);
+                prop_assert_eq!(out.error, None);
+                prop_assert_eq!(k.metrics().splice.aborted, 0);
+                if dst_pick == 0 {
+                    prop_assert_eq!(k.verify_pattern_file("/d1/dst", total, 23), None);
+                }
+                prop_assert!(q.block_spans(1).iter().all(|s| s.complete()));
+            }
+            SyscallRet::Err(e) => {
+                prop_assert_eq!(e, Errno::Eio, "only the documented errno");
+                prop_assert_eq!(out.error, Some(Errno::Eio));
+                prop_assert!(out.bytes_moved <= total);
+                prop_assert_eq!(k.metrics().splice.aborted, 1);
+            }
+            other => prop_assert!(false, "unexpected splice return {other:?}"),
+        }
+        // Either way: every observed span is well-ordered (an aborted
+        // block may stop early, but never runs phases out of order) and
+        // the filesystems survive structurally.
+        prop_assert!(q.block_spans(1).iter().all(|s| s.ordered()));
+        prop_assert!(k.fsck_all().is_empty());
     }
 
     #[test]
