@@ -6,7 +6,7 @@
 //!
 //! Writes `BENCH_ablate_blocksize.json` with each run's metrics snapshot.
 
-use bench::{print_table, throughput, write_bench_json, DiskRow, Experiment, Method};
+use bench::{bench_doc, print_table, throughput, write_table, DiskRow, Experiment, Method};
 use ksim::Json;
 
 fn main() {
@@ -34,8 +34,6 @@ fn main() {
     }
     print_table(&["Block", "SCP", "CP", "%Improve"], &rows);
 
-    let doc = Json::obj()
-        .with("table", Json::Str("ablate_blocksize".into()))
-        .with("runs", Json::Arr(runs));
-    write_bench_json("BENCH_ablate_blocksize.json", &doc);
+    let doc = bench_doc("ablate_blocksize").with("runs", Json::Arr(runs));
+    write_table("ablate_blocksize", &doc);
 }

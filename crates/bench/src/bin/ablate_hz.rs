@@ -9,8 +9,8 @@
 //! Writes `BENCH_ablate_hz.json` with each run's metrics snapshot.
 
 use bench::{
-    availability, idle_baseline, print_table, throughput, write_bench_json, DiskRow, Experiment,
-    Method,
+    availability, bench_doc, idle_baseline, print_table, throughput, write_table, DiskRow,
+    Experiment, Method,
 };
 use ksim::Json;
 
@@ -47,8 +47,6 @@ fn main() {
     println!();
     println!("Ultrix on the DECstation ran HZ = 256 (the middle row).");
 
-    let doc = Json::obj()
-        .with("table", Json::Str("ablate_hz".into()))
-        .with("runs", Json::Arr(runs));
-    write_bench_json("BENCH_ablate_hz.json", &doc);
+    let doc = bench_doc("ablate_hz").with("runs", Json::Arr(runs));
+    write_table("ablate_hz", &doc);
 }

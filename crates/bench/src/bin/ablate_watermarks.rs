@@ -11,7 +11,7 @@
 //! snapshot; the span gauges (`max_pending_reads`/`max_pending_writes`)
 //! make the configured depths directly visible.
 
-use bench::{print_table, throughput, write_bench_json, DiskRow, Experiment, Method};
+use bench::{bench_doc, print_table, throughput, write_table, DiskRow, Experiment, Method};
 use ksim::Json;
 use splice::FlowControl;
 
@@ -51,8 +51,6 @@ fn main() {
     println!();
     println!("paper setting is 3/5/5; depth 1 serialises the pipeline");
 
-    let doc = Json::obj()
-        .with("table", Json::Str("ablate_watermarks".into()))
-        .with("runs", Json::Arr(runs));
-    write_bench_json("BENCH_ablate_watermarks.json", &doc);
+    let doc = bench_doc("ablate_watermarks").with("runs", Json::Arr(runs));
+    write_table("ablate_watermarks", &doc);
 }

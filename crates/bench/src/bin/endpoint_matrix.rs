@@ -9,7 +9,7 @@
 //!
 //! Writes `BENCH_endpoints.json` with KB/s per pair.
 
-use bench::{print_table, write_bench_json};
+use bench::{bench_doc, json_rows, print_table, write_table};
 use kdev::{AudioDac, Framebuffer, VideoDac};
 use khw::DiskProfile;
 use kproc::programs::{EndSpec, EndpointPair, UdpSink, UdpSource};
@@ -179,24 +179,18 @@ fn main() {
         .collect();
     print_table(&["Pair", "KB/s", "ms", "paced"], &rows);
 
-    let doc = Json::obj()
-        .with("table", Json::Str("endpoints".into()))
+    let doc = bench_doc("endpoints")
         .with("total_bytes", Json::Num(TOTAL as f64))
         .with(
             "rows",
-            Json::Arr(
-                results
-                    .iter()
-                    .map(|r| {
-                        Json::obj()
-                            .with("src", Json::Str(r.src.label().into()))
-                            .with("dst", Json::Str(r.dst.label().into()))
-                            .with("kb_per_s", Json::Num(r.kb_per_s))
-                            .with("elapsed_ms", Json::Num(r.elapsed_ms))
-                            .with("paced", Json::Bool(r.paced))
-                    })
-                    .collect(),
-            ),
+            json_rows(&results, |r| {
+                Json::obj()
+                    .with("src", Json::Str(r.src.label().into()))
+                    .with("dst", Json::Str(r.dst.label().into()))
+                    .with("kb_per_s", Json::Num(r.kb_per_s))
+                    .with("elapsed_ms", Json::Num(r.elapsed_ms))
+                    .with("paced", Json::Bool(r.paced))
+            }),
         );
-    write_bench_json("BENCH_endpoints.json", &doc);
+    write_table("endpoints", &doc);
 }

@@ -10,7 +10,7 @@
 //!
 //! Writes `BENCH_faults.json` with one row per error rate.
 
-use bench::{print_table, write_bench_json};
+use bench::{bench_doc, json_rows, print_table, write_table};
 use khw::{FaultOp, FaultPlan};
 use kproc::programs::{Scp, ScpMode};
 use kproc::ProcState;
@@ -129,10 +129,9 @@ fn main() {
         base
     );
 
-    let doc = Json::obj()
-        .with("table", Json::Str("faults".into()))
+    let doc = bench_doc("faults")
         .with("file_bytes", Json::Num(BYTES as f64))
         .with("plan_seed", Json::Num(PLAN_SEED as f64))
-        .with("rows", Json::Arr(rows.iter().map(Row::to_json).collect()));
-    write_bench_json("BENCH_faults.json", &doc);
+        .with("rows", json_rows(&rows, Row::to_json));
+    write_table("faults", &doc);
 }

@@ -1,8 +1,9 @@
-//! Block-latency report: distribution of synchronous read waits (CP) and
-//! splice block round-trips (SCP) per disk — the microscopic view behind
-//! the tables.
+//! Block-latency report: distribution of synchronous read waits (CP),
+//! splice block round-trips (SCP), and the per-stage splice pipeline
+//! histograms — the microscopic view behind the tables.
 
 use bench::{print_table, DiskRow, Experiment, Method};
+use ksim::Hist;
 use splice::Kernel;
 
 fn run(disk: DiskRow, method: Method) -> Kernel {
@@ -19,35 +20,47 @@ fn fmt_us(ns: Option<u64>) -> String {
         .unwrap_or_else(|| "-".into())
 }
 
+fn hist_row(label: String, h: &Hist) -> Vec<String> {
+    vec![
+        label,
+        format!("{}", h.count()),
+        fmt_us(h.min()),
+        fmt_us(h.p50()),
+        fmt_us(h.p90()),
+        fmt_us(h.p99()),
+        fmt_us(h.max()),
+    ]
+}
+
 fn main() {
     println!("Block latency distributions (us), 8 MB copy");
     let mut rows = Vec::new();
+    let mut stage_rows = Vec::new();
     for disk in DiskRow::all() {
         let k = run(disk, Method::Cp);
-        let h = &k.kstat().read_wait;
-        rows.push(vec![
+        rows.push(hist_row(
             format!("{} CP read-wait", disk.label()),
-            format!("{}", h.count()),
-            fmt_us(h.min()),
-            fmt_us(h.mean().map(|m| m as u64)),
-            fmt_us(h.percentile(0.99)),
-            fmt_us(h.max()),
-        ]);
+            &k.kstat().read_wait,
+        ));
         let k = run(disk, Method::Scp);
-        let h = &k.kstat().splice_block_latency;
-        rows.push(vec![
+        rows.push(hist_row(
             format!("{} SCP block", disk.label()),
-            format!("{}", h.count()),
-            fmt_us(h.min()),
-            fmt_us(h.mean().map(|m| m as u64)),
-            fmt_us(h.percentile(0.99)),
-            fmt_us(h.max()),
-        ]);
+            &k.kstat().splice_block_latency,
+        ));
+        for (stage, h) in k.kstat().stages.iter() {
+            stage_rows.push(hist_row(format!("{} {stage}", disk.label()), h));
+        }
     }
-    print_table(&["Path", "n", "min", "mean", "~p99", "max"], &rows);
+    print_table(&["Path", "n", "min", "p50", "p90", "p99", "max"], &rows);
+    println!();
+    println!("Per-stage splice pipeline (SCP runs, us):");
+    print_table(
+        &["Stage", "n", "min", "p50", "p90", "p99", "max"],
+        &stage_rows,
+    );
     println!();
     println!("CP read-wait: time a read(2) slept in biowait per block miss.");
     println!("SCP block: read-issue to write-complete per spliced block");
     println!("(several blocks in flight at once, so throughput is higher");
-    println!("than 1/latency).");
+    println!("than 1/latency). Percentiles are log-bucket upper bounds.");
 }

@@ -8,7 +8,7 @@
 //! [`splice::MetricsSnapshot`] of each environment so the numbers are
 //! machine-checkable across revisions.
 
-use bench::{print_table, table1_row, write_bench_json, DiskRow};
+use bench::{bench_doc, json_rows, print_table, table1_row, write_table, DiskRow, Table1Row};
 use ksim::Json;
 
 fn main() {
@@ -39,12 +39,8 @@ fn main() {
     println!("paper:  RZ56  1.67 1.43  (test at 60% / 70%)");
     println!("paper:  RZ58  1.67 1.25  (test at 60% / 80%)");
 
-    let doc = Json::obj()
-        .with("table", Json::Str("table1".into()))
+    let doc = bench_doc("table1")
         .with("file_bytes", Json::Num((8u64 * 1024 * 1024) as f64))
-        .with(
-            "rows",
-            Json::Arr(results.iter().map(|r| r.to_json()).collect()),
-        );
-    write_bench_json("BENCH_table1.json", &doc);
+        .with("rows", json_rows(&results, Table1Row::to_json));
+    write_table("table1", &doc);
 }

@@ -8,7 +8,7 @@
 //! copy counters, latency digests) so the perf trajectory is
 //! machine-checkable across revisions.
 
-use bench::{print_table, table2_row, write_bench_json, DiskRow};
+use bench::{bench_doc, json_rows, print_table, table2_row, write_table, DiskRow, Table2Row};
 use ksim::Json;
 
 fn main() {
@@ -30,12 +30,8 @@ fn main() {
     println!("paper:  RAM   3343 vs 1884  (+77%)");
     println!("paper:  RZ56/RZ58: media-dominated, minor improvement");
 
-    let doc = Json::obj()
-        .with("table", Json::Str("table2".into()))
+    let doc = bench_doc("table2")
         .with("file_bytes", Json::Num((8u64 * 1024 * 1024) as f64))
-        .with(
-            "rows",
-            Json::Arr(results.iter().map(|r| r.to_json()).collect()),
-        );
-    write_bench_json("BENCH_table2.json", &doc);
+        .with("rows", json_rows(&results, Table2Row::to_json));
+    write_table("table2", &doc);
 }

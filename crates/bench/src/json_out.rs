@@ -1,0 +1,40 @@
+//! Shared JSON emission for the bench binaries.
+//!
+//! Every table, sweep, and ablation binary leaves a machine-checkable
+//! artifact at the repository root. The documents all follow one
+//! convention — a `"table"` tag naming the producer, an array of
+//! per-row/per-run objects built from `to_json` projections, and a
+//! pretty-rendered `BENCH_<table>.json` file — so the pieces live here
+//! instead of being re-spelled in each binary.
+
+use ksim::Json;
+
+/// Document skeleton: `{"table": <name>, …}`. Every `BENCH_*.json`
+/// artifact starts with this tag so downstream consumers can dispatch
+/// on the producer without parsing the filename.
+pub fn bench_doc(table: &str) -> Json {
+    Json::obj().with("table", Json::Str(table.into()))
+}
+
+/// Projects a slice through a `to_json`-style closure into a JSON
+/// array — the `rows`/`runs` idiom shared by every table binary.
+pub fn json_rows<T>(items: &[T], f: impl Fn(&T) -> Json) -> Json {
+    Json::Arr(items.iter().map(f).collect())
+}
+
+/// Serializes `doc` to `path` — the machine-checkable `BENCH_*.json`
+/// artifacts the table and ablation binaries leave behind.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_bench_json(path: &str, doc: &Json) {
+    std::fs::write(path, doc.render_pretty()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// Writes `doc` to the canonical artifact path for `table`:
+/// `BENCH_<table>.json` at the working directory root.
+pub fn write_table(table: &str, doc: &Json) {
+    write_bench_json(&format!("BENCH_{table}.json"), doc);
+}

@@ -18,7 +18,10 @@
 //! Every run verifies the copied bytes and `fsck`s the filesystems; a
 //! performance number from a corrupted run would be meaningless.
 
+pub mod json_out;
 pub mod workloads;
+
+pub use json_out::{bench_doc, json_rows, write_bench_json, write_table};
 
 use khw::DiskProfile;
 use kproc::programs::{Cp, CpuBound, Scp, ScpMode};
@@ -189,17 +192,6 @@ impl ThroughputResult {
             .with("elapsed_s", Json::Num(self.elapsed_s))
             .with("metrics", self.snapshot.to_json())
     }
-}
-
-/// Serializes `doc` to `path` — the machine-checkable `BENCH_*.json`
-/// artifacts the table and ablation binaries leave behind.
-///
-/// # Panics
-///
-/// Panics if the file cannot be written.
-pub fn write_bench_json(path: &str, doc: &Json) {
-    std::fs::write(path, doc.render_pretty()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    println!("wrote {path}");
 }
 
 /// Measures copy throughput on an otherwise idle machine (§6.3).

@@ -26,19 +26,44 @@ pub const ALL: &[&str] = &["scp_ram", "spool", "movie"];
 /// Panics on an unknown name, or if the workload fails its own
 /// correctness checks.
 pub fn run(name: &str) -> Kernel {
+    run_inner(name, None)
+}
+
+/// [`run`] with the resource-accounting sampler enabled: gauge samples
+/// every `period`, up to `capacity` retained, mirrored into the
+/// trace's counter tracks. `run` itself never samples, so its trace
+/// output stays byte-identical to earlier revisions.
+///
+/// # Panics
+///
+/// Same conditions as [`run`].
+pub fn run_sampled(name: &str, period: Dur, capacity: usize) -> Kernel {
+    run_inner(name, Some((period, capacity)))
+}
+
+fn run_inner(name: &str, sample: Option<(Dur, usize)>) -> Kernel {
     match name {
-        "scp_ram" => scp_ram(),
-        "spool" => spool(),
-        "movie" => movie(),
+        "scp_ram" => scp_ram(sample),
+        "spool" => spool(sample),
+        "movie" => movie(sample),
         other => panic!("unknown workload `{other}` (known: {})", ALL.join(", ")),
+    }
+}
+
+/// Applies the optional sampler opt-in to a workload's builder.
+fn maybe_sample(b: KernelBuilder, sample: Option<(Dur, usize)>) -> KernelBuilder {
+    match sample {
+        Some((period, capacity)) => b.sample(period, capacity),
+        None => b,
     }
 }
 
 /// The paper's SCP on the RAM-disk row: one asynchronous file→file
 /// splice of 1 MB from `/d0` to `/d1`, cold cache.
-fn scp_ram() -> Kernel {
+fn scp_ram(sample: Option<(Dur, usize)>) -> Kernel {
     const BYTES: u64 = 1 << 20;
-    let mut k = KernelBuilder::paper_machine_ram().trace(TRACE_CAP).build();
+    let b = KernelBuilder::paper_machine_ram().trace(TRACE_CAP);
+    let mut k = maybe_sample(b, sample).build();
     k.setup_file("/d0/src", BYTES, 5);
     k.cold_cache();
     let pid = k.spawn(Box::new(Scp::new("/d0/src", "/d1/dst")));
@@ -58,11 +83,12 @@ fn scp_ram() -> Kernel {
 
 /// Socket→file spooling: a UDP source paced against the soft-work
 /// budget feeds a socket that splices straight into a file.
-fn spool() -> Kernel {
+fn spool(sample: Option<(Dur, usize)>) -> Kernel {
     const TOTAL: u64 = 1 << 20;
     const DGRAM: usize = 8_192;
     const SRC_GAP: Dur = Dur::from_ms(2);
-    let mut k = KernelBuilder::paper_machine_ram().trace(TRACE_CAP).build();
+    let b = KernelBuilder::paper_machine_ram().trace(TRACE_CAP);
+    let mut k = maybe_sample(b, sample).build();
     k.cold_cache();
     let (pair, result) = EndpointPair::new(
         EndSpec::SockBind { port: 7000 },
@@ -96,17 +122,17 @@ fn spool() -> Kernel {
 
 /// The §4 movie player on an RZ58: one EOF audio splice paced by the
 /// DAC plus one bounded synchronous video splice per timer tick.
-fn movie() -> Kernel {
+fn movie(sample: Option<(Dur, usize)>) -> Kernel {
     const FRAME: usize = 64 * 1024;
     const FRAMES: u64 = 30;
     const FPS: u64 = 30;
     const AUDIO_RATE: u64 = 8_000;
-    let mut k = KernelBuilder::new()
+    let b = KernelBuilder::new()
         .disk("d0", DiskProfile::rz58())
         .audio_dac("/dev/speaker", AudioDac::new(AUDIO_RATE, 64 * 1024))
         .video_dac("/dev/video_dac", VideoDac::new(FRAME))
-        .trace(TRACE_CAP)
-        .build();
+        .trace(TRACE_CAP);
+    let mut k = maybe_sample(b, sample).build();
     let audio_len = AUDIO_RATE * FRAMES / FPS;
     k.setup_file("/d0/movie.audio", audio_len, 1);
     k.setup_file("/d0/movie.video", FRAMES * FRAME as u64, 2);

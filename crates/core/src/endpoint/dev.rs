@@ -50,6 +50,7 @@ impl Kernel {
         if off == 0 {
             self.trace
                 .emit(now, || TraceEvent::SpliceWriteIssue { desc, lblk });
+            self.note_write_issue_stage(desc, lblk);
             // Injected device write failure: the countdown is charged
             // once per block; a block that would overrun it fails.
             if let Some(limit) = self.cdevs[cdev].write_fail_after {

@@ -215,6 +215,7 @@ impl Kernel {
                 let now = self.q.now();
                 self.trace
                     .emit(now, || TraceEvent::SpliceWriteIssue { desc, lblk });
+                self.note_write_issue_stage(desc, lblk);
                 let tag = self.new_iodone(KWork::SpliceWriteDone { desc, lblk, hdr });
                 let mut fx = Vec::new();
                 self.cache.bawrite_call(hdr, tag, &mut fx);
@@ -285,6 +286,7 @@ impl Kernel {
         let now = self.q.now();
         self.trace
             .emit(now, || TraceEvent::SpliceWriteIssue { desc, lblk });
+        self.note_write_issue_stage(desc, lblk);
         if self.splice_append_file(disk, ino, off, &data) {
             self.splice_block_completed(desc, lblk, data.len() as u64);
         } else {

@@ -88,6 +88,7 @@ impl Kernel {
         let now = self.q.now();
         self.trace
             .emit(now, || TraceEvent::SpliceWriteIssue { desc, lblk });
+        self.note_write_issue_stage(desc, lblk);
         self.sock_send_payload(sock, payload);
         if let Some(buf) = buf {
             let d = self.splices.get_mut(&desc).unwrap();

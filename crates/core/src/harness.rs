@@ -4,7 +4,7 @@
 use kdev::{AudioDac, Framebuffer, VideoDac};
 use khw::DiskProfile;
 use kproc::programs::util::pattern_bytes;
-use ksim::SimTime;
+use ksim::{Dur, SimTime};
 
 use crate::kernel::{Kernel, KernelConfig};
 use crate::objects::CharDev;
@@ -15,6 +15,7 @@ pub struct KernelBuilder {
     disks: Vec<(String, DiskProfile)>,
     cdevs: Vec<(String, CharDev)>,
     trace: Option<usize>,
+    sample: Option<(Dur, usize)>,
 }
 
 impl Default for KernelBuilder {
@@ -31,6 +32,7 @@ impl KernelBuilder {
             disks: Vec::new(),
             cdevs: Vec::new(),
             trace: None,
+            sample: None,
         }
     }
 
@@ -38,6 +40,17 @@ impl KernelBuilder {
     /// Without this opt-in every tracepoint stays a single branch.
     pub fn trace(mut self, capacity: usize) -> KernelBuilder {
         self.trace = Some(capacity);
+        self
+    }
+
+    /// Enables the resource-accounting sampler: every `period` of
+    /// simulated time a gauge sample (inflight splice work, disk queue
+    /// depths, cache occupancy, per-PID CPU share) is recorded into a
+    /// ring of `capacity` samples and mirrored into the trace's counter
+    /// tracks. Without this opt-in no sampling work is ever scheduled
+    /// and trace output is byte-identical to a sampler-free kernel.
+    pub fn sample(mut self, period: Dur, capacity: usize) -> KernelBuilder {
+        self.sample = Some((period, capacity));
         self
     }
 
@@ -88,6 +101,11 @@ impl KernelBuilder {
         }
         if let Some(capacity) = self.trace {
             k.install_trace(capacity);
+        }
+        // After the trace: installing a trace ring replaces the trace
+        // object, and the sampler registers its counter capacity on it.
+        if let Some((period, capacity)) = self.sample {
+            k.install_sampler(period, capacity);
         }
         k
     }

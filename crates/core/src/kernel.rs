@@ -122,6 +122,9 @@ pub struct Kernel {
     /// completion histograms.
     pub(crate) io_issued: HashMap<BufId, SimTime>,
     pub(crate) trace: Trace,
+    /// The resource-accounting sampler, when enabled via
+    /// [`KernelBuilder::sample`](crate::KernelBuilder::sample).
+    pub(crate) sampler: Option<crate::profile::Sampler>,
 }
 
 /// Default trace-ring capacity when tracing is toggled on without the
@@ -168,6 +171,7 @@ impl Kernel {
             kstat: ksim::Kstat::new(),
             io_issued: HashMap::new(),
             trace: Trace::new(DEFAULT_TRACE_CAPACITY),
+            sampler: None,
         };
         // Boot the clock and the update daemon.
         let tick = k.cfg.machine.tick();
@@ -531,7 +535,12 @@ impl Kernel {
         } else {
             self.stats.add("io.read_bytes", len as u64);
         }
-        match &mut self.disks[disk_idx].kind {
+        // Reads that enter service immediately (an idle SCSI drive, or the
+        // synchronous RAM-disk strategy call) waited zero time in the
+        // device queue; queued SCSI reads are stamped when the interrupt
+        // handler starts the next request.
+        let mut zero_queue_wait = dir == IoDir::Read;
+        let cost = match &mut self.disks[disk_idx].kind {
             DiskUnitKind::Scsi(d) => {
                 let op = match dir {
                     IoDir::Read => khw::IoOp::Read,
@@ -546,14 +555,17 @@ impl Kernel {
                 self.next_io_token += 1;
                 self.io_tokens.insert((disk_idx, token), (buf, dir));
                 self.stats.add("copy.driver_bytes", len as u64);
-                if let Some(started) = d.submit(now, token, op, sector, len, data) {
-                    self.q.schedule(
-                        started.finish,
-                        Event::DiskIntr {
-                            disk: disk_idx,
-                            token: started.token,
-                        },
-                    );
+                match d.submit(now, token, op, sector, len, data) {
+                    Some(started) => {
+                        self.q.schedule(
+                            started.finish,
+                            Event::DiskIntr {
+                                disk: disk_idx,
+                                token: started.token,
+                            },
+                        );
+                    }
+                    None => zero_queue_wait = false,
                 }
                 Dur::ZERO
             }
@@ -593,7 +605,11 @@ impl Kernel {
                     }
                 }
             }
+        };
+        if zero_queue_wait {
+            self.kstat.stages.read_queue_wait.record(0);
         }
+        cost
     }
 
     /// Completion bookkeeping common to all devices: inflight counts,
@@ -970,6 +986,7 @@ impl Kernel {
             KWork::SpliceSockWrite { .. } => m.splice_handler,
             KWork::SpliceComplete { .. } => m.signal_delivery,
             KWork::ItimerFire { .. } => m.signal_delivery,
+            KWork::Sample => m.buf_op,
         }
     }
 
@@ -1057,6 +1074,7 @@ impl Kernel {
                         .emit(now, || TraceEvent::CalloutArm { delay_ticks: ticks });
                 }
             }
+            KWork::Sample => self.on_sample(),
             splice_work => self.apply_splice_work(splice_work),
         }
     }
@@ -1100,6 +1118,18 @@ impl Kernel {
                 let (done, next) = d.complete(now);
                 debug_assert_eq!(done.token, token, "interrupt/active mismatch");
                 if let Some(started) = next {
+                    // A queued request entered service: its queue wait ends
+                    // here (reads feed the stage histogram).
+                    if let Some(&(nbuf, ndir)) = self.io_tokens.get(&(disk, started.token)) {
+                        if ndir == IoDir::Read {
+                            if let Some(&at) = self.io_issued.get(&nbuf) {
+                                self.kstat
+                                    .stages
+                                    .read_queue_wait
+                                    .record(now.since(at).as_ns());
+                            }
+                        }
+                    }
                     self.q.schedule(
                         started.finish,
                         Event::DiskIntr {

@@ -69,6 +69,7 @@ pub mod harness;
 pub mod kernel;
 pub mod metrics;
 pub mod objects;
+pub mod profile;
 pub mod splice_engine;
 pub mod syscalls;
 
@@ -82,4 +83,7 @@ pub use metrics::{
     SchedMetrics, SpliceMetrics,
 };
 pub use objects::{DiskUnitKind, FileId, FileObj};
+pub use profile::{
+    CacheOccupancy, CpuClassProfile, DeviceProfile, ProcProfile, ProfileSample, ProfileSnapshot,
+};
 pub use splice_engine::{FlowControl, SpliceOutcome, MAX_SPLICE_RETRIES};

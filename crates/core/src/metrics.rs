@@ -346,13 +346,7 @@ fn span_json(s: &SpliceSpan) -> Json {
 }
 
 fn hist_json(h: &HistSummary) -> Json {
-    Json::obj()
-        .with("count", Json::Num(h.count as f64))
-        .with("min", Json::Num(h.min as f64))
-        .with("mean", Json::Num(h.mean))
-        .with("max", Json::Num(h.max as f64))
-        .with("p50", Json::Num(h.p50 as f64))
-        .with("p99", Json::Num(h.p99 as f64))
+    h.to_json()
 }
 
 impl Kernel {

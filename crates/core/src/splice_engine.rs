@@ -113,6 +113,12 @@ pub(crate) struct SpliceDesc {
     pub src_bufs: HashMap<u64, BufId>,
     /// Issue instants of in-flight blocks (latency accounting).
     pub issued_at: HashMap<u64, ksim::SimTime>,
+    /// When each block's read side finished (stage accounting: the
+    /// read-done → write-issue gap).
+    pub read_done_at: HashMap<u64, ksim::SimTime>,
+    /// When each block's write was (last) issued to its sink backend
+    /// (stage accounting: write service time).
+    pub write_issued_at: HashMap<u64, ksim::SimTime>,
     /// Append cursor for a byte-stream file sink.
     pub dst_off: u64,
     /// Device-error retry attempts per logical block.
@@ -261,6 +267,8 @@ impl Kernel {
             stream_taken: 0,
             src_bufs: HashMap::new(),
             issued_at: HashMap::new(),
+            read_done_at: HashMap::new(),
+            write_issued_at: HashMap::new(),
             dst_off,
             retries: HashMap::new(),
             error: None,
@@ -560,9 +568,15 @@ impl Kernel {
             return;
         }
         d.pending_reads -= 1;
+        // Stage accounting: the read side of this block is done. The
+        // issue instant stays in `issued_at` for the end-to-end digest.
+        if let Some(&at) = d.issued_at.get(&lblk) {
+            self.kstat.stages.read_service.record(now.since(at).as_ns());
+        }
         self.trace
             .emit(now, || TraceEvent::SpliceReadDone { desc, lblk });
         let d = self.splices.get_mut(&desc).unwrap();
+        d.read_done_at.insert(lblk, now);
         d.pending_writes += 1;
         if let Block::Buf(buf) = &block {
             d.src_bufs.insert(lblk, *buf);
@@ -633,6 +647,27 @@ impl Kernel {
         self.span_note(desc, |s, now, pr, pw| s.note_write_issued(now, pr, pw));
     }
 
+    /// Stage accounting for the moment a block's write is handed to its
+    /// sink backend: closes the read-done → write-issue gap (first issue
+    /// only) and stamps the write-service start. Every sink backend —
+    /// shared-header file writes, stream appends, device pacing, socket
+    /// sends — calls this right before issuing, so retries re-stamp and
+    /// the service digest measures the attempt that completed.
+    pub(crate) fn note_write_issue_stage(&mut self, desc: u64, lblk: u64) {
+        let now = self.q.now();
+        let Some(d) = self.splices.get_mut(&desc) else {
+            return;
+        };
+        if let Some(done_at) = d.read_done_at.remove(&lblk) {
+            self.kstat
+                .stages
+                .read_to_write
+                .record(now.since(done_at).as_ns());
+        }
+        let d = self.splices.get_mut(&desc).unwrap();
+        d.write_issued_at.insert(lblk, now);
+    }
+
     /// Common completion/flow-control tail of the write side, for every
     /// sink (§5.2.2–§5.2.3).
     pub(crate) fn splice_block_completed(&mut self, desc: u64, lblk: u64, bytes: u64) {
@@ -644,6 +679,8 @@ impl Kernel {
         d.blocks_done += 1;
         d.bytes_done += bytes;
         let issued = d.issued_at.remove(&lblk);
+        let write_issued = d.write_issued_at.remove(&lblk);
+        d.read_done_at.remove(&lblk);
         // A write that lands while the splice is aborting still moved
         // its bytes (they count toward the partial-transfer total) but
         // never refills or finishes; the abort tail completes instead.
@@ -673,10 +710,16 @@ impl Kernel {
                 span.note_refill();
             }
         }
-        if let Some(at) = issued {
+        if let Some(at) = write_issued {
             self.kstat
-                .splice_block_latency
+                .stages
+                .write_service
                 .record(now.since(at).as_ns());
+        }
+        if let Some(at) = issued {
+            let ns = now.since(at).as_ns();
+            self.kstat.splice_block_latency.record(ns);
+            self.kstat.stages.end_to_end.record(ns);
         }
         if finished {
             let cost = self.cfg.machine.signal_delivery;
@@ -723,6 +766,10 @@ impl Kernel {
         self.span_note(desc, |s, _, _, _| s.note_backoff());
         // Exponential backoff: 1, 2, 4, 8, 16 ticks.
         let delay = 1u64 << (attempt - 1);
+        self.kstat
+            .stages
+            .retry_backoff
+            .record(delay * self.cfg.machine.tick().as_ns());
         self.callout
             .schedule(self.tick, delay, KWork::SpliceRetryRead { desc, lblk });
         self.trace
@@ -766,6 +813,7 @@ impl Kernel {
             // Abort drain: drop the slot and the held source buffer.
             d.pending_writes -= 1;
             d.issued_at.remove(&lblk);
+            d.write_issued_at.remove(&lblk);
             d.src_bufs.remove(&lblk);
             if let Some(buf) = src_buf {
                 self.release_buf(buf);
@@ -785,6 +833,7 @@ impl Kernel {
             // drain).
             d.pending_writes -= 1;
             d.issued_at.remove(&lblk);
+            d.write_issued_at.remove(&lblk);
             d.src_bufs.remove(&lblk);
             if let Some(buf) = src_buf {
                 self.release_buf(buf);
@@ -796,6 +845,7 @@ impl Kernel {
             // The source buffer vanished (teardown race): drop the slot.
             d.pending_writes -= 1;
             d.issued_at.remove(&lblk);
+            d.write_issued_at.remove(&lblk);
             return;
         };
         self.stats.bump("splice.retries");
@@ -806,6 +856,10 @@ impl Kernel {
         });
         self.span_note(desc, |s, _, _, _| s.note_backoff());
         let delay = 1u64 << (attempt - 1);
+        self.kstat
+            .stages
+            .retry_backoff
+            .record(delay * self.cfg.machine.tick().as_ns());
         self.callout.schedule(
             self.tick,
             delay,
@@ -840,6 +894,8 @@ impl Kernel {
         let d = self.splices.get_mut(&desc).unwrap();
         d.pending_writes -= 1;
         d.issued_at.remove(&lblk);
+        d.read_done_at.remove(&lblk);
+        d.write_issued_at.remove(&lblk);
         let held = d.src_bufs.remove(&lblk);
         if let Some(buf) = held {
             self.release_buf(buf);
@@ -882,6 +938,8 @@ impl Kernel {
         }
         let bufs: Vec<BufId> = d.src_bufs.drain().map(|(_, b)| b).collect();
         d.issued_at.clear();
+        d.read_done_at.clear();
+        d.write_issued_at.clear();
         for b in bufs {
             self.release_buf(b);
         }

@@ -220,6 +220,25 @@ impl Cache {
         self.free.len()
     }
 
+    /// Number of pool buffers configured at construction.
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Number of cached block identities currently resident — the
+    /// occupancy gauge the profiler samples (`resident / pool_size`
+    /// is the cache fill fraction).
+    pub fn resident_count(&self) -> usize {
+        self.hash.len()
+    }
+
+    /// Number of pool buffers holding delayed-write (dirty) data.
+    pub fn dirty_count(&self) -> usize {
+        (0..self.pool_size)
+            .filter(|&i| self.bufs[i].flags.contains(BufFlags::DELWRI))
+            .count()
+    }
+
     fn buf(&self, id: BufId) -> &Buf {
         let b = &self.bufs[id.0 as usize];
         assert!(!b.dead, "access to destroyed buffer {id:?}");

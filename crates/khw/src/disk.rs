@@ -23,7 +23,7 @@
 //! The disk carries real bytes (a [`SparseStore`]) so data integrity is
 //! checked end to end.
 
-use ksim::{Dur, SimTime};
+use ksim::{Dur, Hist, SimTime};
 
 use crate::fault::{FaultDecision, FaultPlan};
 use crate::profile::{DiskKind, DiskProfile, SECTOR_SIZE};
@@ -116,6 +116,12 @@ pub struct Disk {
     windows: Vec<RaWindow>,
     use_clock: u64,
     stats: DiskStats,
+    /// Total time the drive spent servicing requests (utilization
+    /// accounting: busy / elapsed).
+    busy: Dur,
+    /// Per-request service-time distribution (ns), from service start
+    /// to completion interrupt.
+    service_hist: Hist,
     fault: Option<FaultPlan>,
 }
 
@@ -132,6 +138,8 @@ impl Disk {
             windows: Vec::new(),
             use_clock: 0,
             stats: DiskStats::default(),
+            busy: Dur::ZERO,
+            service_hist: Hist::new(),
             fault: None,
         }
     }
@@ -167,6 +175,17 @@ impl Disk {
     /// Counters accumulated so far.
     pub fn stats(&self) -> DiskStats {
         self.stats
+    }
+
+    /// Total time spent servicing requests (for utilization = busy /
+    /// elapsed).
+    pub fn busy_time(&self) -> Dur {
+        self.busy
+    }
+
+    /// Per-request service-time distribution (ns).
+    pub fn service_hist(&self) -> &Hist {
+        &self.service_hist
     }
 
     /// Direct medium access bypassing all timing — used by `mkfs` and by
@@ -340,6 +359,9 @@ impl Disk {
             ),
         };
         self.head = req.sector + nsec;
+        let svc = done.0.since(now);
+        self.busy += svc;
+        self.service_hist.record(svc.as_ns());
         let started = Started {
             token: req.token,
             finish: done.0,
@@ -778,5 +800,21 @@ mod tests {
         assert_eq!(s.mechanical, 1);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.bytes, 2 * BLK as u64);
+    }
+
+    #[test]
+    fn busy_time_and_service_hist_track_service_windows() {
+        let mut d = Disk::new(DiskProfile::rz56());
+        let (f1, _) = run_one(&mut d, SimTime::ZERO, IoOp::Read, 0, None);
+        let gap = f1 + Dur::from_ms(50);
+        let (f2, _) = run_one(&mut d, gap, IoOp::Read, 16, None);
+        // Busy time is the sum of the two service windows, excluding
+        // the idle gap between them.
+        assert_eq!(d.busy_time(), f1.since(SimTime::ZERO) + f2.since(gap));
+        assert_eq!(d.service_hist().count(), 2);
+        assert_eq!(
+            d.service_hist().max(),
+            Some(f1.since(SimTime::ZERO).as_ns())
+        );
     }
 }

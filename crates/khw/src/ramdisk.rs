@@ -12,7 +12,7 @@
 //! deferred kernel work), which is what makes the RAM-disk rows of Table 1
 //! come out differently for CP and SCP.
 
-use ksim::Dur;
+use ksim::{Dur, Hist};
 
 use crate::fault::{FaultDecision, FaultPlan};
 use crate::profile::{DiskProfile, SECTOR_SIZE};
@@ -32,6 +32,11 @@ pub struct RamDisk {
     profile: DiskProfile,
     store: SparseStore,
     stats: RamDiskStats,
+    /// Accumulated `bcopy` CPU charged to callers (the RAM disk's
+    /// "busy" time is exactly the host CPU it consumed).
+    busy: Dur,
+    /// Per-request copy-cost distribution (ns).
+    service_hist: Hist,
     fault: Option<FaultPlan>,
 }
 
@@ -52,6 +57,8 @@ impl RamDisk {
             profile,
             store,
             stats: RamDiskStats::default(),
+            busy: Dur::ZERO,
+            service_hist: Hist::new(),
             fault: None,
         }
     }
@@ -76,6 +83,16 @@ impl RamDisk {
     /// Counters accumulated so far.
     pub fn stats(&self) -> RamDiskStats {
         self.stats
+    }
+
+    /// Accumulated driver `bcopy` time (the device's busy time).
+    pub fn busy_time(&self) -> Dur {
+        self.busy
+    }
+
+    /// Per-request copy-cost distribution (ns).
+    pub fn service_hist(&self) -> &Hist {
+        &self.service_hist
     }
 
     /// Direct medium access bypassing cost accounting (`mkfs`, tests).
@@ -107,7 +124,10 @@ impl RamDisk {
         let data = self.store.read_vec(sector * SECTOR_SIZE as u64, len);
         self.stats.requests += 1;
         self.stats.bytes += len as u64;
-        (data, self.copy_cost(len))
+        let cost = self.copy_cost(len);
+        self.busy += cost;
+        self.service_hist.record(cost.as_ns());
+        (data, cost)
     }
 
     /// Writes `data` at `sector`, returning the CPU cost of the driver
@@ -125,7 +145,10 @@ impl RamDisk {
         self.store.write(sector * SECTOR_SIZE as u64, data);
         self.stats.requests += 1;
         self.stats.bytes += data.len() as u64;
-        self.copy_cost(data.len())
+        let cost = self.copy_cost(data.len());
+        self.busy += cost;
+        self.service_hist.record(cost.as_ns());
+        cost
     }
 
     /// Fault-aware read: like [`RamDisk::read`], but consults the
@@ -166,7 +189,12 @@ impl RamDisk {
                 self.store.write(sector * SECTOR_SIZE as u64, &data[..keep]);
             }
             self.stats.requests += 1;
-            (self.copy_cost(data.len()) + d.extra_latency, true)
+            // The bcopy CPU was spent even though the write tore; the
+            // injected extra latency is not device busy time.
+            let cost = self.copy_cost(data.len());
+            self.busy += cost;
+            self.service_hist.record(cost.as_ns());
+            (cost + d.extra_latency, true)
         } else {
             (self.write(sector, data) + d.extra_latency, false)
         }
@@ -213,6 +241,15 @@ mod tests {
         rd.read(0, 512);
         assert_eq!(rd.stats().requests, 2);
         assert_eq!(rd.stats().bytes, 1024);
+    }
+
+    #[test]
+    fn busy_time_sums_copy_costs() {
+        let mut rd = RamDisk::new(DiskProfile::ramdisk());
+        rd.write(0, &vec![0u8; 8192]);
+        rd.read(0, 8192);
+        assert_eq!(rd.busy_time(), rd.copy_cost(8192) + rd.copy_cost(8192));
+        assert_eq!(rd.service_hist().count(), 2);
     }
 
     #[test]

@@ -148,6 +148,16 @@ impl CpuEngine {
             + self.stats.get_dur("cpu.soft")
             + self.stats.get_dur("cpu.idle_soft")
     }
+
+    /// Kernel time broken down by admission class, for the resource
+    /// accounting snapshot: `(intr, soft, idle_soft)`.
+    pub fn kernel_time_by_class(&self) -> (Dur, Dur, Dur) {
+        (
+            self.stats.get_dur("cpu.intr"),
+            self.stats.get_dur("cpu.soft"),
+            self.stats.get_dur("cpu.idle_soft"),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,14 @@ pub struct ProcAccounting {
     pub syscalls: u64,
 }
 
+impl ProcAccounting {
+    /// User plus system CPU charged to this process — the numerator of
+    /// the profiler's availability gauge (`cpu_time / wall_time`).
+    pub fn cpu_time(&self) -> Dur {
+        self.user_time + self.sys_time
+    }
+}
+
 /// One process.
 pub struct Process {
     /// Identity.

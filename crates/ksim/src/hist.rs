@@ -1,0 +1,283 @@
+//! Log-bucketed latency/size histograms with exact extrema and
+//! percentile estimation.
+//!
+//! [`Hist`] is the workspace's one histogram type: 64 power-of-two
+//! buckets (`buckets[i]` counts samples whose `floor(log2(v)) == i`,
+//! with `v == 0` folded into bucket 0), plus exact `count`, `sum`,
+//! `min`, and `max`. The record path is branch-light and allocation
+//! free, so it is safe to call from the hottest simulation paths
+//! (per-block splice stages, per-request disk service times).
+//!
+//! Percentiles are *estimates*: the reported value is the upper bound
+//! of the bucket containing the target rank, clamped into the exact
+//! `[min, max]` range. That makes p50/p90/p99/p999 accurate to within
+//! a factor of two (much better near the observed extrema), which is
+//! plenty for the order-of-magnitude stage comparisons the profiler
+//! reports, while keeping the type `Copy`-free, fixed-size, and
+//! mergeable.
+//!
+//! Histograms from different runs or shards [`merge`](Hist::merge)
+//! exactly (bucket-wise addition; count/sum/min/max combine
+//! losslessly), so merging is associative and commutative — a property
+//! `tests/profile.rs` pins down.
+
+use std::fmt;
+
+use crate::json::Json;
+
+/// A power-of-two bucketed histogram of `u64` samples (latencies in ns,
+/// request sizes, queue depths).
+#[derive(Clone)]
+pub struct Hist {
+    /// `buckets[i]` counts samples with `floor(log2(v)) == i` (bucket 0 also
+    /// holds v == 0).
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hist {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Hist {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The raw bucket counts (`buckets[i]` covers `[2^i, 2^(i+1))`).
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Approximate p-th percentile (0.0–1.0) using bucket upper bounds.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&p) {
+            return None;
+        }
+        let target = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let hi = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return Some(hi.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median estimate (`percentile(0.50)`).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile estimate.
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th percentile estimate.
+    pub fn p999(&self) -> Option<u64> {
+        self.percentile(0.999)
+    }
+
+    /// Folds `other` into `self` (bucket-wise addition). Exact:
+    /// merging is associative and commutative, and count/sum/min/max
+    /// combine losslessly.
+    pub fn merge(&mut self, other: &Hist) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Serializes the summary the dashboards key on: exact
+    /// count/min/mean/max plus the four estimated quantiles. Empty
+    /// histograms render every statistic as `null` so consumers can
+    /// distinguish "no samples" from "all zero".
+    pub fn to_json(&self) -> Json {
+        let num = |v: Option<u64>| match v {
+            Some(v) => Json::Num(v as f64),
+            None => Json::Null,
+        };
+        Json::obj()
+            .with("count", Json::Num(self.count as f64))
+            .with("min", num(self.min()))
+            .with("mean", self.mean().map_or(Json::Null, Json::Num))
+            .with("max", num(self.max()))
+            .with("p50", num(self.p50()))
+            .with("p90", num(self.p90()))
+            .with("p99", num(self.p99()))
+            .with("p999", num(self.p999()))
+    }
+}
+
+impl fmt::Debug for Hist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Hist(n={}, min={:?}, mean={:?}, max={:?})",
+            self.count,
+            self.min(),
+            self.mean(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_basic_stats() {
+        let mut h = Hist::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean().unwrap() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hist_zero_sample() {
+        let mut h = Hist::new();
+        h.record(0);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(0));
+    }
+
+    #[test]
+    fn hist_empty_is_none() {
+        let h = Hist::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p999(), None);
+    }
+
+    #[test]
+    fn hist_percentile_monotone() {
+        let mut h = Hist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!(p99 <= 1000 * 2); // bucket granularity bound
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut all = Hist::new();
+        for v in [1u64, 5, 9, 200] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 3, 4096, u64::MAX] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.buckets(), all.buckets());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Hist::new();
+        for v in [7u64, 8, 9] {
+            a.record(v);
+        }
+        let before = a.buckets().to_vec();
+        a.merge(&Hist::new());
+        assert_eq!(a.buckets().to_vec(), before);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn to_json_has_quantile_keys() {
+        let mut h = Hist::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let j = h.to_json();
+        for key in ["count", "min", "mean", "max", "p50", "p90", "p99", "p999"] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(100));
+        let empty = Hist::new().to_json();
+        assert_eq!(empty.get("p50"), Some(&Json::Null));
+    }
+}

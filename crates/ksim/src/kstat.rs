@@ -22,7 +22,8 @@
 use std::collections::BTreeMap;
 use std::ops::Index;
 
-use crate::stats::Hist;
+use crate::hist::Hist;
+use crate::json::Json;
 use crate::time::SimTime;
 
 /// Upper bound on retained [`FlowSample`]s per span. Beyond this the
@@ -268,8 +269,12 @@ pub struct HistSummary {
     pub max: u64,
     /// Median, to bucket granularity (0 when empty).
     pub p50: u64,
+    /// 90th percentile, to bucket granularity (0 when empty).
+    pub p90: u64,
     /// 99th percentile, to bucket granularity (0 when empty).
     pub p99: u64,
+    /// 99.9th percentile, to bucket granularity (0 when empty).
+    pub p999: u64,
 }
 
 impl From<&Hist> for HistSummary {
@@ -279,9 +284,80 @@ impl From<&Hist> for HistSummary {
             min: h.min().unwrap_or(0),
             mean: h.mean().unwrap_or(0.0),
             max: h.max().unwrap_or(0),
-            p50: h.percentile(0.5).unwrap_or(0),
-            p99: h.percentile(0.99).unwrap_or(0),
+            p50: h.p50().unwrap_or(0),
+            p90: h.p90().unwrap_or(0),
+            p99: h.p99().unwrap_or(0),
+            p999: h.p999().unwrap_or(0),
         }
+    }
+}
+
+impl HistSummary {
+    /// Serializes the digest with the schema every `BENCH_*.json`
+    /// consumer keys on (`count`/`min`/`mean`/`max`/`p50`/`p90`/`p99`/
+    /// `p999`).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("count", Json::Num(self.count as f64))
+            .with("min", Json::Num(self.min as f64))
+            .with("mean", Json::Num(self.mean))
+            .with("max", Json::Num(self.max as f64))
+            .with("p50", Json::Num(self.p50 as f64))
+            .with("p90", Json::Num(self.p90 as f64))
+            .with("p99", Json::Num(self.p99 as f64))
+            .with("p999", Json::Num(self.p999 as f64))
+    }
+}
+
+/// Per-stage latency histograms for the splice pipeline, all in
+/// nanoseconds of simulated time. One block contributes one sample to
+/// each stage it passes through, so under error-free operation the
+/// stage counts agree and `end_to_end ≈ read_service + read_to_write +
+/// write_service` per block (queue-wait is measured at the device and
+/// overlaps `read_service`).
+#[derive(Clone, Debug, Default)]
+pub struct StageHists {
+    /// Time a buffer read spent queued at the device before service
+    /// began (0 for requests that started immediately, and for the
+    /// synchronous RAM-disk path).
+    pub read_queue_wait: Hist,
+    /// Splice read issue → block arrival at the engine (device queue +
+    /// service + completion handler dispatch).
+    pub read_service: Hist,
+    /// Block arrival → sink write actually issued (the decoupling gap:
+    /// deferred-work queueing plus any buffer-shortage backoff).
+    pub read_to_write: Hist,
+    /// Sink write issue → write completion observed by the engine.
+    pub write_service: Hist,
+    /// Backoff delays scheduled by the retry path (exponential, per
+    /// attempt).
+    pub retry_backoff: Hist,
+    /// Read issue → write completion for one block (the paper's
+    /// per-block "decoupled device access period").
+    pub end_to_end: Hist,
+}
+
+impl StageHists {
+    /// Iterates `(stage name, histogram)` in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Hist)> {
+        [
+            ("read_queue_wait", &self.read_queue_wait),
+            ("read_service", &self.read_service),
+            ("read_to_write", &self.read_to_write),
+            ("write_service", &self.write_service),
+            ("retry_backoff", &self.retry_backoff),
+            ("end_to_end", &self.end_to_end),
+        ]
+        .into_iter()
+    }
+
+    /// Serializes every stage digest keyed by stage name.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (name, h) in self.iter() {
+            obj.set(name, h.to_json());
+        }
+        obj
     }
 }
 
@@ -299,6 +375,8 @@ pub struct Kstat {
     pub read_wait: Hist,
     /// Splice per-block latency: read issue → write completion (ns).
     pub splice_block_latency: Hist,
+    /// Per-stage splice pipeline latency distributions.
+    pub stages: StageHists,
 }
 
 impl Kstat {

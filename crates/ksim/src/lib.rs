@@ -19,6 +19,7 @@
 
 pub mod callout;
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod kstat;
 pub mod stats;
@@ -27,8 +28,9 @@ pub mod trace;
 
 pub use callout::{Callout, CalloutId};
 pub use event::{EventId, EventQueue};
+pub use hist::Hist;
 pub use json::Json;
-pub use kstat::{FlowSample, HistSummary, Kstat, SpliceSpan, SpliceSpans};
-pub use stats::{Hist, Stats};
+pub use kstat::{FlowSample, HistSummary, Kstat, SpliceSpan, SpliceSpans, StageHists};
+pub use stats::Stats;
 pub use time::{Dur, SimTime};
 pub use trace::{BlockSpan, PhaseMark, Trace, TraceEvent, TraceQuery, TraceRecord};

@@ -1,10 +1,11 @@
-//! Named counters and simple histograms for instrumenting the simulation.
+//! Named counters for instrumenting the simulation.
 //!
 //! Every subsystem records what it did (bytes bcopy'd per category, cache
 //! hits, context switches, interrupts, ...) into a [`Stats`] owned by the
 //! kernel. The experiment harnesses read these to report the paper's
 //! derived quantities, and tests assert on them (e.g. "a splice copy moves
-//! zero bytes through copyin/copyout").
+//! zero bytes through copyin/copyout"). Latency distributions live in the
+//! sibling [`crate::hist`] module.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -83,106 +84,6 @@ impl fmt::Debug for Stats {
     }
 }
 
-/// A power-of-two bucketed histogram of `u64` samples (latencies in ns,
-/// request sizes, queue depths).
-#[derive(Clone)]
-pub struct Hist {
-    /// `buckets[i]` counts samples with `floor(log2(v)) == i` (bucket 0 also
-    /// holds v == 0).
-    buckets: [u64; 64],
-    count: u64,
-    sum: u128,
-    min: u64,
-    max: u64,
-}
-
-impl Default for Hist {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Hist {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Hist {
-            buckets: [0; 64],
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, v: u64) {
-        let idx = if v == 0 {
-            0
-        } else {
-            63 - v.leading_zeros() as usize
-        };
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum += v as u128;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Arithmetic mean, or `None` if empty.
-    pub fn mean(&self) -> Option<f64> {
-        if self.count == 0 {
-            None
-        } else {
-            Some(self.sum as f64 / self.count as f64)
-        }
-    }
-
-    /// Smallest sample, or `None` if empty.
-    pub fn min(&self) -> Option<u64> {
-        (self.count > 0).then_some(self.min)
-    }
-
-    /// Largest sample, or `None` if empty.
-    pub fn max(&self) -> Option<u64> {
-        (self.count > 0).then_some(self.max)
-    }
-
-    /// Approximate p-th percentile (0.0–1.0) using bucket upper bounds.
-    pub fn percentile(&self, p: f64) -> Option<u64> {
-        if self.count == 0 || !(0.0..=1.0).contains(&p) {
-            return None;
-        }
-        let target = ((self.count as f64) * p).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                let hi = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
-                return Some(hi.min(self.max).max(self.min));
-            }
-        }
-        Some(self.max)
-    }
-}
-
-impl fmt::Debug for Hist {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Hist(n={}, min={:?}, mean={:?}, max={:?})",
-            self.count,
-            self.min(),
-            self.mean(),
-            self.max()
-        )
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,44 +122,5 @@ mod tests {
         s.clear();
         assert_eq!(s.get("x"), 0);
         assert_eq!(s.get_dur("y"), Dur::ZERO);
-    }
-
-    #[test]
-    fn hist_basic_stats() {
-        let mut h = Hist::new();
-        for v in [1u64, 2, 3, 4, 100] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 5);
-        assert_eq!(h.min(), Some(1));
-        assert_eq!(h.max(), Some(100));
-        assert!((h.mean().unwrap() - 22.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn hist_zero_sample() {
-        let mut h = Hist::new();
-        h.record(0);
-        assert_eq!(h.min(), Some(0));
-        assert_eq!(h.max(), Some(0));
-    }
-
-    #[test]
-    fn hist_empty_is_none() {
-        let h = Hist::new();
-        assert_eq!(h.mean(), None);
-        assert_eq!(h.percentile(0.5), None);
-    }
-
-    #[test]
-    fn hist_percentile_monotone() {
-        let mut h = Hist::new();
-        for v in 1..=1000u64 {
-            h.record(v);
-        }
-        let p50 = h.percentile(0.5).unwrap();
-        let p99 = h.percentile(0.99).unwrap();
-        assert!(p50 <= p99);
-        assert!(p99 <= 1000 * 2); // bucket granularity bound
     }
 }

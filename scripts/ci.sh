@@ -59,6 +59,12 @@ rm -f TRACE_scp_ram.json
 cargo run --release -p bench --bin tracedump -- scp_ram
 test -s TRACE_scp_ram.json
 
+echo "== profiler smoke run =="
+rm -f BENCH_profile.json TS_scp_ram.json TS_spool.json TS_movie.json
+cargo run --release -p bench --bin profile
+test -s BENCH_profile.json
+test -s TS_scp_ram.json
+
 # Parse the artifacts with the same in-tree parser the snapshot uses.
 cargo test -q --test observability snapshot_json_round_trips
 python3 - <<'EOF'
@@ -119,9 +125,13 @@ print("BENCH_faults.json: ok (%d rows)" % len(rows))
 
 # The Chrome trace export: structurally valid and per-track monotone,
 # i.e. exactly what Perfetto / chrome://tracing require to load it.
+# tracedump runs sampler-free, so the profiler must have left no
+# counter ("C") events in it — sampling is a strict opt-in.
 doc = json.load(open("TRACE_scp_ram.json"))
 events = doc["traceEvents"]
 assert isinstance(events, list) and events, "traceEvents empty"
+assert not any(ev.get("ph") == "C" for ev in events), \
+    "sampler-free trace contains counter events"
 last = {}
 for ev in events:
     key = (ev["pid"], ev["tid"])
@@ -129,6 +139,38 @@ for ev in events:
     assert ts >= last.get(key, ts), "ts regressed on track %r" % (key,)
     last[key] = ts
 print("TRACE_scp_ram.json: ok (%d events, %d tracks)" % (len(events), len(last)))
+
+# The profiler artifacts: per-stage digests for every workload, the
+# accounting-derived contention ordering, and monotone gauge series.
+doc = json.load(open("BENCH_profile.json"))
+assert doc["table"] == "profile", doc.get("table")
+wls = {w["workload"]: w for w in doc["workloads"]}
+assert set(wls) == {"scp_ram", "spool", "movie"}, set(wls)
+for stage in ("read_queue_wait", "read_service", "read_to_write",
+              "write_service", "retry_backoff", "end_to_end"):
+    dig = wls["scp_ram"]["stages"][stage]
+    for key in ("count", "p50", "p90", "p99"):
+        assert key in dig, (stage, key)
+    if stage != "retry_backoff":
+        assert dig["count"] > 0, (stage, dig)
+        assert dig["p50"] <= dig["p90"] <= dig["p99"], (stage, dig)
+cont = doc["contention"]
+cp, scp = cont["cp"], cont["scp"]
+assert scp["test_cpu_share"] >= cp["test_cpu_share"], cont
+assert cont["share_improvement"] >= 1.0, cont
+print("BENCH_profile.json: ok (%d workloads, share %.3f -> %.3f)"
+      % (len(wls), cp["test_cpu_share"], scp["test_cpu_share"]))
+
+ts_doc = json.load(open("TS_scp_ram.json"))
+samples = ts_doc["samples"]
+assert samples, "sampler recorded nothing"
+stamps = [s["t_ns"] for s in samples]
+assert all(a < b for a, b in zip(stamps, stamps[1:])), "t_ns not monotone"
+for s in samples:
+    for key in ("inflight_reads", "inflight_writes", "cache_resident",
+                "cache_dirty", "cpu_share"):
+        assert key in s, (key, s)
+print("TS_scp_ram.json: ok (%d samples, monotone)" % len(samples))
 EOF
 
 echo "ci.sh: all green"
