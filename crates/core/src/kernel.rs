@@ -21,7 +21,7 @@ use std::collections::{HashMap, VecDeque};
 use kbuf::{BufId, Cache, DevId, IoDir, IodoneTag};
 use kfs::{Fs, FsIo};
 use khw::{Disk, DiskProfile, MachineProfile, RamDisk};
-use knet::{Net, SockId};
+use knet::Net;
 use kproc::{
     Admit, Chan, ChanSpace, CpuEngine, Pid, ProcState, ProcTable, Program, RunKind, Scheduler, Sig,
     Step, WorkClass,
@@ -100,8 +100,9 @@ pub struct Kernel {
     pub(crate) timed_actions: HashMap<Pid, WakeAction>,
     pub(crate) iodone_map: HashMap<IodoneTag, KWork>,
     pub(crate) next_tag: u64,
-    /// Socket-sourced splices: src socket → descriptor.
-    pub(crate) sock_splices: HashMap<SockId, u64>,
+    /// Splice rings plus the unified in-flight routing table (every
+    /// splice entry path) and the socket→descriptor index.
+    pub(crate) rings: crate::splice_ring::RingTable,
     pub(crate) deferred: VecDeque<(Dur, KWork)>,
     pub(crate) dispatch_pending: bool,
     /// A wakeup boosted a process while a syscall chunk was on the CPU;
@@ -158,7 +159,7 @@ impl Kernel {
             timed_actions: HashMap::new(),
             iodone_map: HashMap::new(),
             next_tag: 1,
-            sock_splices: HashMap::new(),
+            rings: crate::splice_ring::RingTable::new(),
             deferred: VecDeque::new(),
             dispatch_pending: false,
             resched: false,
@@ -834,6 +835,8 @@ impl Kernel {
         if let Some(id) = self.itimer_callouts.remove(&pid) {
             self.callout.cancel(id);
         }
+        // Rings die with their owner; in-flight entries drain silently.
+        self.ring_owner_exit(pid);
         let now = self.q.now();
         let p = self.procs.must_mut(pid);
         p.state = ProcState::Exited(code);

@@ -71,6 +71,7 @@ pub mod metrics;
 pub mod objects;
 pub mod profile;
 pub mod splice_engine;
+pub mod splice_ring;
 pub mod syscalls;
 
 pub use endpoint::{caps, EndpointCaps, ObjClass};
@@ -86,4 +87,5 @@ pub use objects::{DiskUnitKind, FileId, FileObj};
 pub use profile::{
     CacheOccupancy, CpuClassProfile, DeviceProfile, ProcProfile, ProfileSample, ProfileSnapshot,
 };
-pub use splice_engine::{FlowControl, SpliceOutcome, MAX_SPLICE_RETRIES};
+pub use splice_engine::{FlowControl, OutcomeStatus, SpliceOutcome, MAX_SPLICE_RETRIES};
+pub use splice_ring::RING_MAX_DEPTH;

@@ -45,27 +45,45 @@ use crate::endpoint::{Block, DstEndpoint, ReadPlan, SrcEndpoint};
 use crate::event::KWork;
 use crate::kernel::{IoCtx, Kernel};
 use crate::objects::{CharDev, FileId};
+use crate::splice_ring::RingRoute;
 use crate::syscalls::{Cont, SyscallOutcome};
 
 /// Pull granularity for stream sources (one datagram or framebuffer
 /// chunk per pending-read slot).
 pub(crate) const STREAM_CHUNK: usize = 8192;
 
-/// Per-block retry budget for transient device errors. The first retry
-/// waits one tick; each further attempt doubles the backoff (1, 2, 4,
-/// 8, 16 ticks). A block that still fails after this many attempts
-/// aborts the whole splice with `EIO`.
-pub const MAX_SPLICE_RETRIES: u32 = 5;
+/// Default per-block retry budget for transient device errors. The
+/// first retry waits one tick; each further attempt doubles the backoff
+/// (1, 2, 4, 8, 16 ticks). A block that still fails after this many
+/// attempts aborts the whole splice with `EIO`. Ring submissions can
+/// override the budget per request ([`kproc::SpliceReq::retries`]).
+pub const MAX_SPLICE_RETRIES: u32 = kproc::SpliceReq::DEFAULT_RETRIES;
 
-/// How a finished splice ended: how many bytes actually moved, and the
-/// errno if it aborted. Retained after the descriptor itself is torn
-/// down so tests and post-mortem tooling can audit partial transfers.
+pub use kproc::SpliceOutcome;
+
+/// Typed completion status of a splice descriptor, replacing the old
+/// `Option<SpliceOutcome>` that conflated "still running" with "never
+/// heard of it".
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SpliceOutcome {
-    /// Bytes fully written to the destination before completion/abort.
-    pub bytes_moved: u64,
-    /// `None` for a clean completion, the typed errno for an abort.
-    pub error: Option<Errno>,
+pub enum OutcomeStatus {
+    /// The splice is still in flight: no outcome yet.
+    Pending,
+    /// The splice finished (successfully or by abort) with this outcome.
+    Done(SpliceOutcome),
+    /// No such descriptor: never created, or created before a kernel
+    /// restart. Distinct from [`OutcomeStatus::Pending`] so pollers
+    /// cannot spin on an id that will never complete.
+    Unknown,
+}
+
+impl OutcomeStatus {
+    /// The outcome, if the splice has finished.
+    pub fn done(self) -> Option<SpliceOutcome> {
+        match self {
+            OutcomeStatus::Done(o) => Some(o),
+            _ => None,
+        }
+    }
 }
 
 /// The §5.2.3 rate-based flow-control parameters.
@@ -91,8 +109,6 @@ impl Default for FlowControl {
 
 /// One active splice, keyed by its descriptor id in `Kernel::splices`.
 pub(crate) struct SpliceDesc {
-    pub owner: Pid,
-    pub fasync: bool,
     pub src: SrcEndpoint,
     pub dst: DstEndpoint,
     /// Bytes this splice will move.
@@ -123,6 +139,8 @@ pub(crate) struct SpliceDesc {
     pub dst_off: u64,
     /// Device-error retry attempts per logical block.
     pub retries: HashMap<u64, u32>,
+    /// Per-request retry budget (see [`MAX_SPLICE_RETRIES`]).
+    pub retry_limit: u32,
     /// Set when the splice is aborting: no new work is issued and
     /// in-flight blocks drain without counting.
     pub error: Option<Errno>,
@@ -147,34 +165,55 @@ impl SpliceDesc {
     }
 }
 
-impl Kernel {
-    // ----- the splice(2) entry point -----------------------------------------
+/// What [`Kernel::splice_begin`] did with a request: admitted it as an
+/// in-flight descriptor, finished it on the spot (zero-length), or
+/// refused it. CPU charges *exclude* the syscall crossing — the entry
+/// point (one `splice(2)` trap or one amortized ring-submit crossing)
+/// adds its own.
+pub(crate) enum SpliceBegin {
+    /// The splice is in flight; `desc` identifies it.
+    Started { desc: u64, cpu: Dur },
+    /// Nothing to move (zero-length transfer): done immediately.
+    Empty { cpu: Dur },
+    /// Refused with this errno (already counted through the funnel).
+    Rejected(Errno),
+}
 
-    pub(crate) fn sys_splice(
+impl Kernel {
+    // ----- the unified splice entry point ------------------------------------
+
+    /// Builds and launches a splice descriptor from an already-resolved
+    /// request. **Every** entry path lands here — the synchronous
+    /// `splice(2)` call, the `FASYNC`/`SIGIO` descriptor path, and ring
+    /// submissions — differing only in the completion [`RingRoute`] they
+    /// pass. Rejections are counted through
+    /// [`Kernel::splice_reject_note`]; the caller maps them onto its own
+    /// failure surface (errno return or error CQE).
+    pub(crate) fn splice_begin(
         &mut self,
-        pid: Pid,
         sfid: FileId,
         dfid: FileId,
         len: SpliceLen,
-    ) -> SyscallOutcome {
+        retry_limit: u32,
+        route: RingRoute,
+    ) -> SpliceBegin {
         let m = self.cfg.machine.clone();
         let sof = self.files.get(sfid).expect("resolved fid");
         let dof = self.files.get(dfid).expect("resolved fid");
-        let fasync = sof.fasync || dof.fasync;
         let (sobj, dobj) = (sof.obj, dof.obj);
 
         // An object participates only through a descriptor opened for
         // that direction: read on the source, write on the sink.
         if !sof.readable || !dof.writable {
-            return self.splice_reject(Errno::Ebadf);
+            return SpliceBegin::Rejected(self.splice_reject_note(Errno::Ebadf));
         }
         let src = match self.resolve_src(sobj) {
             Ok(s) => s,
-            Err(e) => return self.splice_reject(e),
+            Err(e) => return SpliceBegin::Rejected(self.splice_reject_note(e)),
         };
         let dst = match self.resolve_dst(dobj) {
             Ok(d) => d,
-            Err(e) => return self.splice_reject(e),
+            Err(e) => return SpliceBegin::Rejected(self.splice_reject_note(e)),
         };
 
         // Resolve the transfer size and build the source read plan.
@@ -189,14 +228,11 @@ impl Kernel {
                     SpliceLen::Eof => avail,
                 };
                 if total == 0 {
-                    return SyscallOutcome::Done {
-                        cpu: m.syscall,
-                        ret: SyscallRet::Val(0),
-                    };
+                    return SpliceBegin::Empty { cpu: Dur::ZERO };
                 }
                 let plan = match self.prepare_file_source(disk, ino, offset, total) {
                     Ok(p) => p,
-                    Err(e) => return self.splice_reject(e),
+                    Err(e) => return SpliceBegin::Rejected(self.splice_reject_note(e)),
                 };
                 let nblocks = match &plan {
                     ReadPlan::Mapped { src_map, .. } => src_map.len(),
@@ -212,30 +248,27 @@ impl Kernel {
                     let bs = self.cfg.block_size as u64;
                     let dst_off = self.files.get(dfid).unwrap().offset;
                     if plan_first_boff(&plan) != 0 || !dst_off.is_multiple_of(bs) {
-                        return self.splice_reject(Errno::Einval);
+                        return SpliceBegin::Rejected(self.splice_reject_note(Errno::Einval));
                     }
                     dst_map = match self.prepare_file_sink(ddisk, dino, dst_off, nblocks, total) {
                         Ok(map) => map,
-                        Err(e) => return self.splice_reject(e),
+                        Err(e) => return SpliceBegin::Rejected(self.splice_reject_note(e)),
                     };
                     self.files.get_mut(dfid).unwrap().offset += total;
                 }
                 // Advance the source descriptor past the spliced range.
                 self.files.get_mut(sfid).unwrap().offset += total;
                 // Descriptor build cost: the bmap walks plus allocation.
-                let cpu = m.syscall + m.buf_op + Dur::from_us(2) * (nblocks as u64 * 2);
+                let cpu = m.buf_op + Dur::from_us(2) * (nblocks as u64 * 2);
                 (total, plan, dst_map, 0u64, cpu)
             }
             SrcEndpoint::Fb { .. } | SrcEndpoint::Sock { .. } => {
                 let SpliceLen::Bytes(total) = len else {
                     // A stream source has no EOF to reach.
-                    return self.splice_reject(Errno::Einval);
+                    return SpliceBegin::Rejected(self.splice_reject_note(Errno::Einval));
                 };
                 if total == 0 {
-                    return SyscallOutcome::Done {
-                        cpu: m.syscall,
-                        ret: SyscallRet::Val(0),
-                    };
+                    return SpliceBegin::Empty { cpu: Dur::ZERO };
                 }
                 // Byte-stream file sinks append from the current size.
                 let dst_off = match dst {
@@ -245,15 +278,13 @@ impl Kernel {
                 let plan = ReadPlan::Stream {
                     chunk: STREAM_CHUNK,
                 };
-                (total, plan, Vec::new(), dst_off, m.syscall)
+                (total, plan, Vec::new(), dst_off, Dur::ZERO)
             }
         };
 
         let id = self.next_splice;
         self.next_splice += 1;
         let desc = SpliceDesc {
-            owner: pid,
-            fasync,
             src,
             dst,
             total,
@@ -271,13 +302,21 @@ impl Kernel {
             write_issued_at: HashMap::new(),
             dst_off,
             retries: HashMap::new(),
+            retry_limit,
             error: None,
             done: false,
         };
         self.splices.insert(id, desc);
         if let SrcEndpoint::Sock { sock } = src {
-            self.sock_splices.insert(sock, id);
+            self.rings.bind_sock(sock, id);
         }
+        self.rings.register(
+            id,
+            RingRoute {
+                user_data: Some(route.user_data.unwrap_or(id)),
+                ..route
+            },
+        );
         self.stats.bump("splice.started");
         let now = self.q.now();
         self.kstat.spans.start(id, now);
@@ -288,31 +327,79 @@ impl Kernel {
 
         // Initial reads/pulls are issued in the caller's context.
         cpu += self.splice_issue_reads(id, IoCtx::Process);
+        SpliceBegin::Started { desc: id, cpu }
+    }
 
-        if fasync {
-            SyscallOutcome::Done {
-                cpu,
+    /// The legacy `splice(2)` entry point, re-expressed on the ring path:
+    /// a depth-1 submit on the process's implicit legacy ring. Without
+    /// `FASYNC` the caller blocks on the ring channel until its entry
+    /// completes; with `FASYNC` the call returns immediately and
+    /// completion is announced with `SIGIO` (no CQE is queued — the
+    /// outcome is latched in [`Kernel::splice_outcome`]).
+    pub(crate) fn sys_splice(
+        &mut self,
+        pid: Pid,
+        sfid: FileId,
+        dfid: FileId,
+        len: SpliceLen,
+        retry_limit: u32,
+    ) -> SyscallOutcome {
+        let m = self.cfg.machine.clone();
+        let fasync = {
+            let sof = self.files.get(sfid).expect("resolved fid");
+            let dof = self.files.get(dfid).expect("resolved fid");
+            sof.fasync || dof.fasync
+        };
+        let ring = self.rings.legacy_ring_for(pid);
+        let route = RingRoute {
+            ring,
+            user_data: None,
+            queue_cqe: !fasync,
+            sigio: fasync,
+        };
+        match self.splice_begin(sfid, dfid, len, retry_limit, route) {
+            SpliceBegin::Rejected(e) => SyscallOutcome::Done {
+                cpu: m.syscall,
+                ret: SyscallRet::Err(e),
+            },
+            SpliceBegin::Empty { cpu } => SyscallOutcome::Done {
+                cpu: m.syscall + cpu,
                 ret: SyscallRet::Val(0),
-            }
-        } else {
-            self.conts.insert(pid, Cont::SpliceSync { desc: id });
-            SyscallOutcome::Block {
-                cpu,
-                chan: Chan::new(ChanSpace::Splice, id),
+            },
+            SpliceBegin::Started { desc, cpu } => {
+                if fasync {
+                    SyscallOutcome::Done {
+                        cpu: m.syscall + cpu,
+                        ret: SyscallRet::Val(0),
+                    }
+                } else {
+                    self.conts.insert(pid, Cont::SpliceSync { ring, desc });
+                    SyscallOutcome::Block {
+                        cpu: m.syscall + cpu,
+                        chan: Chan::new(ChanSpace::Ring, ring),
+                    }
+                }
             }
         }
     }
 
-    /// The single rejection path for `splice(2)`: every refused endpoint
-    /// combination or bad descriptor is counted (`splice.rejected`) and
-    /// reported from here, whether detected at the syscall layer or
-    /// during endpoint resolution.
-    pub(crate) fn splice_reject(&mut self, e: Errno) -> SyscallOutcome {
+    /// Counts and traces a splice rejection — the single funnel every
+    /// refused request passes through, whether it surfaces as an errno
+    /// return (`splice(2)`, ring syscalls) or an error CQE (per-entry
+    /// ring submission failures). Returns the errno for convenience.
+    pub(crate) fn splice_reject_note(&mut self, e: Errno) -> Errno {
         self.stats.bump("splice.rejected");
         let now = self.q.now();
         self.trace.emit(now, || TraceEvent::SpliceReject {
             errno: errno_name(e),
         });
+        e
+    }
+
+    /// Rejection as a syscall outcome: the funnel plus the errno return
+    /// charged at one crossing.
+    pub(crate) fn splice_reject(&mut self, e: Errno) -> SyscallOutcome {
+        let e = self.splice_reject_note(e);
         SyscallOutcome::Done {
             cpu: self.cfg.machine.syscall,
             ret: SyscallRet::Err(e),
@@ -323,27 +410,34 @@ impl Kernel {
     /// transfer finished, or go back to sleep. An aborted splice reports
     /// its typed errno — never a success value — and leaves the exact
     /// partial byte count in [`Kernel::splice_outcome`].
-    pub(crate) fn resume_splice_sync(&mut self, pid: Pid, desc: u64) -> SyscallOutcome {
-        let done = self.splices.get(&desc).map(|d| d.done).unwrap_or(true);
-        if !done {
-            self.conts.insert(pid, Cont::SpliceSync { desc });
-            return SyscallOutcome::Block {
-                cpu: Dur::ZERO,
-                chan: Chan::new(ChanSpace::Splice, desc),
-            };
-        }
-        let (total, error) = self
-            .splices
-            .remove(&desc)
-            .map(|d| (d.bytes_done, d.error))
-            .unwrap_or((0, None));
-        let ret = match error {
-            Some(e) => SyscallRet::Err(e),
-            None => SyscallRet::Val(total as i64),
-        };
-        SyscallOutcome::Done {
-            cpu: self.cfg.machine.buf_op,
-            ret,
+    pub(crate) fn resume_splice_sync(&mut self, pid: Pid, ring: u64, desc: u64) -> SyscallOutcome {
+        match self.splice_outcome(desc) {
+            OutcomeStatus::Done(o) => {
+                // Drop the latched CQE: the blocking caller *is* the
+                // reaper for its depth-1 entry.
+                self.rings.remove_cqe(ring, desc);
+                let ret = match o.error {
+                    Some(e) => SyscallRet::Err(e),
+                    None => SyscallRet::Val(o.bytes_moved as i64),
+                };
+                SyscallOutcome::Done {
+                    cpu: self.cfg.machine.buf_op,
+                    ret,
+                }
+            }
+            OutcomeStatus::Pending => {
+                self.conts.insert(pid, Cont::SpliceSync { ring, desc });
+                SyscallOutcome::Block {
+                    cpu: Dur::ZERO,
+                    chan: Chan::new(ChanSpace::Ring, ring),
+                }
+            }
+            // The descriptor vanished without latching an outcome (it
+            // cannot under normal operation): report zero, don't hang.
+            OutcomeStatus::Unknown => SyscallOutcome::Done {
+                cpu: self.cfg.machine.buf_op,
+                ret: SyscallRet::Val(0),
+            },
         }
     }
 
@@ -748,12 +842,13 @@ impl Kernel {
             self.maybe_finish_abort(desc);
             return;
         }
+        let limit = d.retry_limit;
         let attempt = {
             let a = d.retries.entry(lblk).or_insert(0);
             *a += 1;
             *a
         };
-        if attempt > MAX_SPLICE_RETRIES {
+        if attempt > limit {
             self.splice_abort(desc, Errno::Eio);
             return;
         }
@@ -821,12 +916,13 @@ impl Kernel {
             self.maybe_finish_abort(desc);
             return;
         }
+        let limit = d.retry_limit;
         let attempt = {
             let a = d.retries.entry(lblk).or_insert(0);
             *a += 1;
             *a
         };
-        if attempt > MAX_SPLICE_RETRIES {
+        if attempt > limit {
             // This block's write has terminally failed: nothing further
             // will arrive for it, so surrender its slot before aborting
             // (the abort completes once the *other* in-flight blocks
@@ -946,11 +1042,19 @@ impl Kernel {
         self.complete_splice(desc);
     }
 
-    /// How splice `desc` ended, if it has completed (successfully or by
-    /// abort). `None` while the splice is still in flight or for unknown
-    /// descriptor ids.
-    pub fn splice_outcome(&self, desc: u64) -> Option<SpliceOutcome> {
-        self.splice_outcomes.get(&desc).copied()
+    /// The typed completion status of splice `desc`:
+    /// [`OutcomeStatus::Done`] once it finished (successfully or by
+    /// abort), [`OutcomeStatus::Pending`] while still in flight,
+    /// [`OutcomeStatus::Unknown`] for descriptor ids the kernel never
+    /// issued.
+    pub fn splice_outcome(&self, desc: u64) -> OutcomeStatus {
+        if let Some(o) = self.splice_outcomes.get(&desc) {
+            return OutcomeStatus::Done(*o);
+        }
+        if self.splices.contains_key(&desc) {
+            return OutcomeStatus::Pending;
+        }
+        OutcomeStatus::Unknown
     }
 
     /// Source closed mid-splice = EOF: clamp the target to what was
@@ -969,8 +1073,10 @@ impl Kernel {
         // the clamped total and completes the splice.
     }
 
-    /// Finalisation: `SIGIO` for asynchronous splices (§3), a wakeup for
-    /// synchronous callers, device stream teardown.
+    /// Finalisation, one tail for every entry path: latch the outcome,
+    /// tear down device streams and the socket index, then hand the
+    /// descriptor to [`Kernel::ring_deliver`], which queues the CQE /
+    /// posts `SIGIO` / wakes reapers per the entry's [`RingRoute`].
     fn complete_splice(&mut self, desc: u64) {
         let now = self.q.now();
         let Some(d) = self.splices.get_mut(&desc) else {
@@ -980,8 +1086,6 @@ impl Kernel {
             return;
         }
         d.done = true;
-        let owner = d.owner;
-        let fasync = d.fasync;
         let dst = d.dst;
         let src = d.src;
         let outcome = SpliceOutcome {
@@ -995,7 +1099,7 @@ impl Kernel {
             }
         }
         if let SrcEndpoint::Sock { sock } = src {
-            self.sock_splices.remove(&sock);
+            self.rings.unbind_sock(sock);
         }
         if outcome.error.is_none() {
             self.stats.bump("splice.completed");
@@ -1004,12 +1108,8 @@ impl Kernel {
             span.note_completed(now);
         }
         self.trace.emit(now, || TraceEvent::SpliceComplete { desc });
-        if fasync {
-            self.splices.remove(&desc);
-            self.post_sigio(owner);
-        } else {
-            self.wakeup(Chan::new(ChanSpace::Splice, desc));
-        }
+        self.splices.remove(&desc);
+        self.ring_deliver(desc, outcome);
     }
 }
 
@@ -1031,6 +1131,7 @@ pub(crate) fn errno_name(e: Errno) -> &'static str {
         Errno::Eaddrinuse => "EADDRINUSE",
         Errno::Enotconn => "ENOTCONN",
         Errno::Emsgsize => "EMSGSIZE",
+        Errno::Eagain => "EAGAIN",
     }
 }
 

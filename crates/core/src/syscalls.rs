@@ -66,8 +66,11 @@ pub(crate) enum Cont {
     Write(WriteCont),
     /// `fsync(2)` waiting for in-flight writes.
     Fsync { fid: FileId },
-    /// Synchronous `splice(2)` waiting for completion.
-    SpliceSync { desc: u64 },
+    /// Synchronous `splice(2)` waiting for its depth-1 legacy-ring entry
+    /// to complete.
+    SpliceSync { ring: u64, desc: u64 },
+    /// `sys_ring_reap` waiting for `min` completions.
+    RingReap { ring: u64, min: u32 },
     /// `pause(2)`.
     Pause,
     /// `recv` waiting for a datagram.
@@ -189,15 +192,19 @@ impl Kernel {
                     ret: SyscallRet::Val(pos as i64),
                 }
             }
-            SyscallReq::Splice { src, dst, len } => {
-                let (Some(sfid), Some(dfid)) = (self.fid_of(pid, src), self.fid_of(pid, dst))
+            SyscallReq::Splice { req } => {
+                let (Some(sfid), Some(dfid)) =
+                    (self.fid_of(pid, req.src), self.fid_of(pid, req.dst))
                 else {
                     // Same consolidated rejection path as endpoint
                     // resolution: counted under splice.rejected.
                     return self.splice_reject(Errno::Ebadf);
                 };
-                self.sys_splice(pid, sfid, dfid, len)
+                self.sys_splice(pid, sfid, dfid, req.len, req.retry_limit)
             }
+            SyscallReq::RingCreate { depth, sigio } => self.sys_ring_create(pid, depth, sigio),
+            SyscallReq::RingSubmit { ring, sqes } => self.sys_ring_submit(pid, ring, sqes),
+            SyscallReq::RingReap { ring, min } => self.sys_ring_reap(pid, ring, min),
             SyscallReq::Fsync(fd) => {
                 let Some(fid) = self.fid_of(pid, fd) else {
                     return self.err(Errno::Ebadf);
@@ -399,7 +406,8 @@ impl Kernel {
             Cont::Read(c) => self.do_read(pid, c, Dur::ZERO),
             Cont::Write(c) => self.do_write(pid, c, Dur::ZERO),
             Cont::Fsync { fid } => self.do_fsync(pid, fid, Dur::ZERO),
-            Cont::SpliceSync { desc } => self.resume_splice_sync(pid, desc),
+            Cont::SpliceSync { ring, desc } => self.resume_splice_sync(pid, ring, desc),
+            Cont::RingReap { ring, min } => self.resume_ring_reap(pid, ring, min),
             Cont::Pause => SyscallOutcome::Done {
                 cpu: self.cfg.machine.buf_op,
                 ret: SyscallRet::Val(0),
@@ -539,11 +547,10 @@ impl Kernel {
             Some(Some(of)) => {
                 if let FileObj::Sock { sock } = of.obj {
                     // Closing the source of an active splice is its EOF:
-                    // complete the descriptor so synchronous callers wake
-                    // and FASYNC owners get their SIGIO.
-                    if let Some(desc) = self.sock_splices.remove(&sock) {
-                        self.finish_splice_now(desc);
-                    }
+                    // the ring in-flight table completes the descriptor so
+                    // every entry path hears about it (sync wakeup, SIGIO,
+                    // or CQE).
+                    self.splice_sock_eof(sock);
                     let _ = self.net.close(sock);
                 }
                 true
@@ -1065,15 +1072,7 @@ impl Kernel {
             knet::DeliverOutcome::Queued => {
                 self.trace
                     .emit(now, || TraceEvent::NetDeliver { sock: dst.0, len });
-                if let Some(&desc) = self.sock_splices.get(&dst) {
-                    // Re-arm the unified engine's read side: the arrival
-                    // funds one more stream pull (watermarks permitting).
-                    self.enqueue_kwork(
-                        kproc::WorkClass::Soft,
-                        self.cfg.machine.splice_handler,
-                        KWork::SpliceIssueReads { desc },
-                    );
-                } else {
+                if !self.splice_sock_feed(dst) {
                     self.wakeup(Chan::new(ChanSpace::SockRecv, dst.0 as u64));
                 }
             }

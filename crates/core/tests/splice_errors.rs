@@ -2,7 +2,8 @@
 
 use khw::DiskProfile;
 use kproc::{
-    Errno, Fd, OpenFlags, ProcState, Program, SpliceLen, Step, SyscallReq, SyscallRet, UserCtx,
+    Errno, Fd, OpenFlags, ProcState, Program, SpliceLen, SpliceReq, Step, SyscallReq, SyscallRet,
+    UserCtx,
 };
 use splice::{Kernel, KernelBuilder};
 
@@ -92,11 +93,9 @@ impl Program for SpliceProbe {
             }
             4 => {
                 self.st = 5;
-                Step::Syscall(SyscallReq::Splice {
-                    src: self.src_fd.unwrap(),
-                    dst: self.dst_fd.unwrap(),
-                    len: self.len,
-                })
+                Step::splice(
+                    SpliceReq::new(self.src_fd.unwrap(), self.dst_fd.unwrap()).len(self.len),
+                )
             }
             5 => {
                 *self.result.borrow_mut() = Some(ctx.take_ret());
@@ -240,11 +239,10 @@ fn splice_to_unconnected_socket_is_enotconn() {
                 2 => {
                     self.sock = ctx.take_ret().as_fd();
                     self.st = 3;
-                    Step::Syscall(SyscallReq::Splice {
-                        src: self.src.unwrap(),
-                        dst: self.sock.unwrap(),
-                        len: SpliceLen::Bytes(8192),
-                    })
+                    Step::splice(
+                        SpliceReq::new(self.src.unwrap(), self.sock.unwrap())
+                            .len(SpliceLen::Bytes(8192)),
+                    )
                 }
                 3 => {
                     *self.result.borrow_mut() = Some(ctx.take_ret());
@@ -302,11 +300,7 @@ fn socket_source_requires_byte_count() {
                 3 => {
                     ctx.take_ret();
                     self.st = 4;
-                    Step::Syscall(SyscallReq::Splice {
-                        src: self.a.unwrap(),
-                        dst: self.b.unwrap(),
-                        len: SpliceLen::Eof,
-                    })
+                    Step::splice(SpliceReq::new(self.a.unwrap(), self.b.unwrap()))
                 }
                 4 => {
                     *self.result.borrow_mut() = Some(ctx.take_ret());
@@ -366,11 +360,10 @@ fn bounded_splices_advance_the_offset() {
                 2 => {
                     self.dst = ctx.take_ret().as_fd();
                     self.st = 3;
-                    Step::Syscall(SyscallReq::Splice {
-                        src: self.src.unwrap(),
-                        dst: self.dst.unwrap(),
-                        len: SpliceLen::Bytes(16_384),
-                    })
+                    Step::splice(
+                        SpliceReq::new(self.src.unwrap(), self.dst.unwrap())
+                            .len(SpliceLen::Bytes(16_384)),
+                    )
                 }
                 3 | 4 => {
                     self.moved.borrow_mut().push(ctx.take_ret().as_val());
@@ -378,11 +371,10 @@ fn bounded_splices_advance_the_offset() {
                     if self.st == 5 {
                         return Step::Exit(0);
                     }
-                    Step::Syscall(SyscallReq::Splice {
-                        src: self.src.unwrap(),
-                        dst: self.dst.unwrap(),
-                        len: SpliceLen::Bytes(16_384),
-                    })
+                    Step::splice(
+                        SpliceReq::new(self.src.unwrap(), self.dst.unwrap())
+                            .len(SpliceLen::Bytes(16_384)),
+                    )
                 }
                 _ => Step::Exit(0),
             }
@@ -440,11 +432,10 @@ fn socket_to_file_splice_receives_to_disk() {
                 3 => {
                     self.file = ctx.take_ret().as_fd();
                     self.st = 4;
-                    Step::Syscall(SyscallReq::Splice {
-                        src: self.sock.unwrap(),
-                        dst: self.file.unwrap(),
-                        len: SpliceLen::Bytes(10 * 2048),
-                    })
+                    Step::splice(
+                        SpliceReq::new(self.sock.unwrap(), self.file.unwrap())
+                            .len(SpliceLen::Bytes(10 * 2048)),
+                    )
                 }
                 4 => {
                     *self.result.borrow_mut() = Some(ctx.take_ret());

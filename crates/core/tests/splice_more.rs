@@ -5,8 +5,8 @@ use kdev::VideoDac;
 use khw::{DiskProfile, SECTOR_SIZE};
 use kproc::programs::{Scp, ScpMode};
 use kproc::{
-    FcntlCmd, Fd, OpenFlags, ProcState, Program, Sig, SpliceLen, Step, SyscallReq, SyscallRet,
-    UserCtx,
+    FcntlCmd, Fd, OpenFlags, ProcState, Program, Sig, SpliceLen, SpliceReq, Step, SyscallReq,
+    SyscallRet, UserCtx,
 };
 use splice::objects::CharDev;
 use splice::{Kernel, KernelBuilder};
@@ -55,11 +55,7 @@ fn fasync_on_the_destination_also_makes_the_splice_async() {
                 }
                 5 => {
                     ctx.take_ret();
-                    Step::Syscall(SyscallReq::Splice {
-                        src: self.src.unwrap(),
-                        dst: self.dst.unwrap(),
-                        len: SpliceLen::Eof,
-                    })
+                    Step::splice(SpliceReq::new(self.src.unwrap(), self.dst.unwrap()))
                 }
                 6 => {
                     // Async splices return 0 immediately.
@@ -129,11 +125,7 @@ fn file_to_video_dac_splice_displays_frames() {
                 }
                 3 => {
                     self.dev = ctx.take_ret().as_fd();
-                    Step::Syscall(SyscallReq::Splice {
-                        src: self.src.unwrap(),
-                        dst: self.dev.unwrap(),
-                        len: SpliceLen::Eof,
-                    })
+                    Step::splice(SpliceReq::new(self.src.unwrap(), self.dev.unwrap()))
                 }
                 4 => {
                     let ret = ctx.take_ret();

@@ -4,7 +4,8 @@
 use khw::DiskProfile;
 use kproc::programs::util::pattern_bytes;
 use kproc::{
-    Errno, Fd, OpenFlags, ProcState, Program, SpliceLen, Step, SyscallReq, SyscallRet, UserCtx,
+    Errno, Fd, OpenFlags, ProcState, Program, SpliceLen, SpliceReq, Step, SyscallReq, SyscallRet,
+    UserCtx,
 };
 use splice::{Kernel, KernelBuilder};
 
@@ -402,11 +403,11 @@ fn closing_spliced_socket_source_completes_the_splice() {
                 5 => {
                     ctx.take_ret();
                     self.st = 6;
-                    Step::Syscall(SyscallReq::Splice {
-                        src: self.sock.unwrap(),
-                        dst: self.file.unwrap(),
-                        len: SpliceLen::Bytes(1 << 20), // far more than will arrive
-                    })
+                    // Far more than will arrive.
+                    Step::splice(
+                        SpliceReq::new(self.sock.unwrap(), self.file.unwrap())
+                            .len(SpliceLen::Bytes(1 << 20)),
+                    )
                 }
                 6 => {
                     ctx.take_ret();

@@ -39,6 +39,6 @@ pub use process::{ProcState, ProcTable, Process};
 pub use program::{Program, Step, UserCtx};
 pub use sched::{CurrentRun, RunKind, Scheduler};
 pub use types::{
-    Chan, ChanSpace, Errno, FcntlCmd, Fd, OpenFlags, Pid, Sig, SockAddr, SpliceArgs, SpliceLen,
-    SyscallReq, SyscallRet,
+    Chan, ChanSpace, Errno, FcntlCmd, Fd, OpenFlags, Pid, Sig, SockAddr, SpliceCqe, SpliceLen,
+    SpliceOutcome, SpliceReq, SpliceSqe, SyscallReq, SyscallRet,
 };

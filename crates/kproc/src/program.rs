@@ -11,7 +11,7 @@
 
 use ksim::{Dur, SimTime};
 
-use crate::types::{Sig, SpliceArgs, SyscallReq, SyscallRet};
+use crate::types::{Sig, SpliceReq, SyscallReq, SyscallRet};
 
 /// What a program does next.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,10 +25,10 @@ pub enum Step {
 }
 
 impl Step {
-    /// Issues `splice(2)` with the given arguments — sugar for
-    /// `Step::Syscall(args.req())`.
-    pub fn splice(args: SpliceArgs) -> Step {
-        Step::Syscall(args.req())
+    /// Issues `splice(2)` with the given request — sugar for
+    /// `Step::Syscall(req.req())`.
+    pub fn splice(req: SpliceReq) -> Step {
+        Step::Syscall(req.req())
     }
 }
 

@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::program::{Program, Step, UserCtx};
-use crate::types::{Fd, OpenFlags, SockAddr, SpliceArgs, SpliceLen, SyscallReq, SyscallRet};
+use crate::types::{Fd, OpenFlags, SockAddr, SpliceLen, SpliceReq, SyscallReq, SyscallRet};
 
 /// How to materialise one end of the splice.
 #[derive(Clone, Debug)]
@@ -182,7 +182,7 @@ impl Program for EndpointPair {
             6 => {
                 self.st = 7;
                 Step::splice(
-                    SpliceArgs::new(self.src_fd.unwrap(), self.dst_fd.unwrap()).len(self.len),
+                    SpliceReq::new(self.src_fd.unwrap(), self.dst_fd.unwrap()).len(self.len),
                 )
             }
             7 => {
@@ -240,9 +240,12 @@ mod tests {
         assert!(matches!(
             p.step(&mut ctx),
             Step::Syscall(SyscallReq::Splice {
-                src: Fd(3),
-                dst: Fd(4),
-                len: SpliceLen::Bytes(4096),
+                req: SpliceReq {
+                    src: Fd(3),
+                    dst: Fd(4),
+                    len: SpliceLen::Bytes(4096),
+                    ..
+                }
             })
         ));
         ctx.ret = Some(SyscallRet::Val(4096));

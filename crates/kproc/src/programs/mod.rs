@@ -10,6 +10,9 @@
 //!   `fsync` on the destination (§6.1's CP environment).
 //! * [`Scp`] — `scp`: the splice-based copy, synchronous or
 //!   `FASYNC`+`SIGIO` (§6.1's SCP environment).
+//! * [`RingScp`] — batched splice copies through a splice ring (one
+//!   submit/reap crossing per wave), with a legacy one-at-a-time mode
+//!   for crossings-per-byte comparisons.
 //! * [`MoviePlayer`] — the §4 example: async audio splice plus
 //!   interval-timer-paced video frame splices.
 //! * [`net`] — UDP senders/sinks and the two relay variants
@@ -25,6 +28,7 @@ pub mod endpoint;
 pub mod movie;
 pub mod net;
 pub mod repeat;
+pub mod ring_scp;
 pub mod scp;
 pub mod util;
 pub mod writer;
@@ -35,5 +39,6 @@ pub use endpoint::{EndSpec, EndpointPair};
 pub use movie::MoviePlayer;
 pub use net::{UdpRelayRw, UdpRelaySplice, UdpSink, UdpSource};
 pub use repeat::Repeat;
+pub use ring_scp::RingScp;
 pub use scp::{Scp, ScpMode};
 pub use writer::Writer;

@@ -11,7 +11,7 @@
 use ksim::Dur;
 
 use crate::program::{Program, Step, UserCtx};
-use crate::types::{FcntlCmd, Fd, OpenFlags, Sig, SpliceArgs, SyscallReq, SyscallRet};
+use crate::types::{FcntlCmd, Fd, OpenFlags, Sig, SpliceReq, SyscallReq, SyscallRet};
 
 #[derive(Debug)]
 enum St {
@@ -146,7 +146,7 @@ impl Program for MoviePlayer {
                 ctx.take_ret();
                 self.st = St::SpliceAudio;
                 // "Copy the audio information; return immediately."
-                Step::splice(SpliceArgs::new(
+                Step::splice(SpliceReq::new(
                     self.audiofile.unwrap(),
                     self.audio_out.unwrap(),
                 ))
@@ -173,7 +173,7 @@ impl Program for MoviePlayer {
                 ctx.take_ret();
                 self.st = St::SpliceFrame;
                 Step::splice(
-                    SpliceArgs::new(self.videofile.unwrap(), self.video_out.unwrap())
+                    SpliceReq::new(self.videofile.unwrap(), self.video_out.unwrap())
                         .bytes(self.frame_size),
                 )
             }
@@ -198,7 +198,7 @@ impl Program for MoviePlayer {
                 ctx.take_ret();
                 self.st = St::SpliceFrame;
                 Step::splice(
-                    SpliceArgs::new(self.videofile.unwrap(), self.video_out.unwrap())
+                    SpliceReq::new(self.videofile.unwrap(), self.video_out.unwrap())
                         .bytes(self.frame_size),
                 )
             }
@@ -235,9 +235,11 @@ mod tests {
         assert!(matches!(
             s,
             Step::Syscall(SyscallReq::Splice {
-                src: Fd(3),
-                dst: Fd(5),
-                len: SpliceLen::Eof
+                req: SpliceReq {
+                    src: Fd(3),
+                    dst: Fd(5),
+                    ..
+                }
             })
         ));
         ctx.ret = Some(SyscallRet::Val(0));
@@ -269,7 +271,14 @@ mod tests {
         let s = p.step(&mut ctx);
         assert!(matches!(
             s,
-            Step::Syscall(SyscallReq::Splice { src: Fd(4), dst: Fd(6), len: SpliceLen::Bytes(n) }) if n == 64 * 1024
+            Step::Syscall(SyscallReq::Splice {
+                req: SpliceReq {
+                    src: Fd(4),
+                    dst: Fd(6),
+                    len: SpliceLen::Bytes(n),
+                    ..
+                }
+            }) if n == 64 * 1024
         ));
         ctx.ret = Some(SyscallRet::Val(64 * 1024));
         let s = p.step(&mut ctx);

@@ -9,7 +9,7 @@ use ksim::Dur;
 
 use crate::program::{Program, Step, UserCtx};
 use crate::programs::util::pattern_bytes;
-use crate::types::{Fd, SockAddr, SpliceArgs, SyscallReq, SyscallRet};
+use crate::types::{Fd, SockAddr, SpliceReq, SyscallReq, SyscallRet};
 
 /// Sends `count` datagrams of `size` bytes to `dest`, pacing each send
 /// with a small user-mode gap.
@@ -351,7 +351,7 @@ impl Program for UdpRelaySplice {
                 ctx.take_ret();
                 self.st = 5;
                 Step::splice(
-                    SpliceArgs::new(self.in_fd.unwrap(), self.out_fd.unwrap())
+                    SpliceReq::new(self.in_fd.unwrap(), self.out_fd.unwrap())
                         .bytes(self.total_bytes),
                 )
             }
@@ -441,7 +441,14 @@ mod tests {
         let s = p.step(&mut ctx);
         assert!(matches!(
             s,
-            Step::Syscall(SyscallReq::Splice { src: Fd(3), dst: Fd(4), len: SpliceLen::Bytes(n) }) if n == 1 << 20
+            Step::Syscall(SyscallReq::Splice {
+                req: SpliceReq {
+                    src: Fd(3),
+                    dst: Fd(4),
+                    len: SpliceLen::Bytes(n),
+                    ..
+                }
+            }) if n == 1 << 20
         ));
         ctx.ret = Some(SyscallRet::Val(1 << 20));
         assert_eq!(p.step(&mut ctx), Step::Exit(0));

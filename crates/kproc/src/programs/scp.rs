@@ -7,7 +7,7 @@
 //! announced with `SIGIO`, which the program waits for in `pause()`.
 
 use crate::program::{Program, Step, UserCtx};
-use crate::types::{FcntlCmd, Fd, OpenFlags, Sig, SpliceArgs, SyscallReq, SyscallRet};
+use crate::types::{FcntlCmd, Fd, OpenFlags, Sig, SpliceReq, SyscallReq, SyscallRet};
 
 /// How `scp` waits for the transfer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -122,7 +122,7 @@ impl Program for Scp {
                 match self.mode {
                     ScpMode::Sync => {
                         self.st = St::Splice;
-                        Step::splice(SpliceArgs::new(self.src_fd.unwrap(), self.dst_fd.unwrap()))
+                        Step::splice(SpliceReq::new(self.src_fd.unwrap(), self.dst_fd.unwrap()))
                     }
                     ScpMode::Async => {
                         self.st = St::Sigaction;
@@ -144,7 +144,7 @@ impl Program for Scp {
             St::Fcntl => {
                 ctx.take_ret();
                 self.st = St::Splice;
-                Step::splice(SpliceArgs::new(self.src_fd.unwrap(), self.dst_fd.unwrap()))
+                Step::splice(SpliceReq::new(self.src_fd.unwrap(), self.dst_fd.unwrap()))
             }
             St::Splice => match ctx.take_ret() {
                 SyscallRet::Val(n) if n >= 0 => match self.mode {
@@ -218,9 +218,12 @@ mod tests {
         assert!(matches!(
             s,
             Step::Syscall(SyscallReq::Splice {
-                src: Fd(3),
-                dst: Fd(4),
-                len: SpliceLen::Eof
+                req: SpliceReq {
+                    src: Fd(3),
+                    dst: Fd(4),
+                    len: SpliceLen::Eof,
+                    ..
+                }
             })
         ));
         ctx.ret = Some(SyscallRet::Val(8 << 20));

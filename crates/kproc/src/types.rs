@@ -30,6 +30,9 @@ pub enum ChanSpace {
     AnyBuf,
     /// A splice descriptor (synchronous splice completion).
     Splice,
+    /// A splice ring's completion queue (reapers sleep here; the queue
+    /// going non-empty is the wakeup).
+    Ring,
     /// A socket's receive side.
     SockRecv,
     /// A socket's send side (buffer space).
@@ -114,77 +117,129 @@ pub enum SpliceLen {
     Eof,
 }
 
-/// The arguments of `splice(2)`, as a typed builder.
+/// The unified splice request: endpoint pair, transfer size, and the
+/// fault/retry policy, as a typed builder.
 ///
-/// Call sites used to spell out `SyscallReq::Splice { src, dst, len }`
-/// field by field; this gathers the same arguments with named
-/// constructors so programs and examples read like the paper's API:
+/// Every splice entry path — the synchronous `splice(2)` call, the
+/// `FASYNC`/`SIGIO` descriptor path, and batched ring submissions
+/// ([`SpliceSqe`]) — carries one of these; the kernel has exactly one
+/// code path from a `SpliceReq` to a [`SpliceOutcome`].
 ///
 /// ```
-/// use kproc::{Fd, SpliceArgs, SpliceLen, SyscallReq};
+/// use kproc::{Fd, SpliceLen, SpliceReq, SyscallReq};
 ///
-/// let whole_file = SpliceArgs::new(Fd(3), Fd(4));
+/// let whole_file = SpliceReq::new(Fd(3), Fd(4));
 /// assert_eq!(whole_file.len, SpliceLen::Eof);
-/// let one_frame = SpliceArgs::new(Fd(3), Fd(4)).bytes(64 * 1024);
+/// let one_frame = SpliceReq::new(Fd(3), Fd(4)).bytes(64 * 1024);
 /// let req: SyscallReq = one_frame.req();
 /// assert!(matches!(req, SyscallReq::Splice { .. }));
+/// let sqe = SpliceReq::new(Fd(3), Fd(4)).bytes(8192).sqe(7);
+/// assert_eq!(sqe.user_data, 7);
 /// ```
 ///
 /// There is no flags word: per §3 the asynchronous-completion choice
 /// rides on the *descriptor* (`FASYNC` via [`FcntlCmd::SetAsync`]), not
 /// on the call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct SpliceArgs {
+pub struct SpliceReq {
     /// Source descriptor.
     pub src: Fd,
     /// Destination descriptor.
     pub dst: Fd,
     /// Transfer size; defaults to [`SpliceLen::Eof`].
     pub len: SpliceLen,
+    /// Per-block retry budget for transient device errors; defaults to
+    /// [`SpliceReq::DEFAULT_RETRIES`]. A block still failing after this
+    /// many attempts aborts the transfer with `EIO`.
+    pub retry_limit: u32,
 }
 
-impl SpliceArgs {
+impl SpliceReq {
+    /// Default per-block retry budget (1, 2, 4, 8, 16 tick backoffs).
+    pub const DEFAULT_RETRIES: u32 = 5;
+
     /// A whole-source splice (`SPLICE_EOF`), the common case.
-    pub fn new(src: Fd, dst: Fd) -> SpliceArgs {
-        SpliceArgs {
+    pub fn new(src: Fd, dst: Fd) -> SpliceReq {
+        SpliceReq {
             src,
             dst,
             len: SpliceLen::Eof,
+            retry_limit: SpliceReq::DEFAULT_RETRIES,
         }
     }
 
     /// Limits the transfer to `n` bytes.
-    pub fn bytes(mut self, n: u64) -> SpliceArgs {
+    pub fn bytes(mut self, n: u64) -> SpliceReq {
         self.len = SpliceLen::Bytes(n);
         self
     }
 
     /// Sets the transfer size from an existing [`SpliceLen`].
-    pub fn len(mut self, len: SpliceLen) -> SpliceArgs {
+    pub fn len(mut self, len: SpliceLen) -> SpliceReq {
         self.len = len;
         self
     }
 
     /// Runs until end of file (the default).
-    pub fn to_eof(mut self) -> SpliceArgs {
+    pub fn to_eof(mut self) -> SpliceReq {
         self.len = SpliceLen::Eof;
+        self
+    }
+
+    /// Overrides the per-block retry budget (0 = abort on first error).
+    pub fn retries(mut self, n: u32) -> SpliceReq {
+        self.retry_limit = n;
         self
     }
 
     /// The syscall request these arguments describe.
     pub fn req(self) -> SyscallReq {
-        SyscallReq::Splice {
-            src: self.src,
-            dst: self.dst,
-            len: self.len,
+        SyscallReq::Splice { req: self }
+    }
+
+    /// Wraps the request as a ring submission tagged `user_data`.
+    pub fn sqe(self, user_data: u64) -> SpliceSqe {
+        SpliceSqe {
+            user_data,
+            req: self,
         }
     }
 }
 
-impl From<SpliceArgs> for SyscallReq {
-    fn from(args: SpliceArgs) -> SyscallReq {
-        args.req()
+impl From<SpliceReq> for SyscallReq {
+    fn from(req: SpliceReq) -> SyscallReq {
+        req.req()
     }
+}
+
+/// How a finished splice ended: how many bytes actually moved, and the
+/// errno if it aborted. Retained after the descriptor itself is torn
+/// down so tests and post-mortem tooling can audit partial transfers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpliceOutcome {
+    /// Bytes fully written to the destination before completion/abort.
+    pub bytes_moved: u64,
+    /// `None` for a clean completion, the typed errno for an abort.
+    pub error: Option<Errno>,
+}
+
+/// One splice-ring submission: a [`SpliceReq`] plus an opaque tag the
+/// completion ([`SpliceCqe`]) echoes back, io_uring style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpliceSqe {
+    /// Caller-chosen tag; the matching CQE carries the same value.
+    pub user_data: u64,
+    /// The transfer to perform.
+    pub req: SpliceReq,
+}
+
+/// One splice-ring completion: the submission's tag and its outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpliceCqe {
+    /// The tag of the [`SpliceSqe`] this completes.
+    pub user_data: u64,
+    /// How the transfer ended.
+    pub outcome: SpliceOutcome,
 }
 
 /// A UDP endpoint (host, port) in the simulated network.
@@ -229,15 +284,40 @@ pub enum SyscallReq {
         /// New absolute offset.
         pos: u64,
     },
-    /// The paper's contribution: move `len` bytes from `src` to `dst`
+    /// The paper's contribution: move bytes from source to destination
     /// inside the kernel.
     Splice {
-        /// Source descriptor.
-        src: Fd,
-        /// Destination descriptor.
-        dst: Fd,
-        /// Transfer size or EOF sentinel.
-        len: SpliceLen,
+        /// The unified request (endpoints, size, retry policy).
+        req: SpliceReq,
+    },
+    /// Create a splice ring: a bounded submission/completion queue pair
+    /// through which many splices are posted and reaped in single
+    /// crossings. Returns the ring id as `Val`.
+    RingCreate {
+        /// Maximum entries in flight + unreaped completions. Zero is
+        /// `EINVAL`.
+        depth: u32,
+        /// Deliver `SIGIO` when the completion queue goes non-empty.
+        sigio: bool,
+    },
+    /// Post a batch of submissions in **one** syscall crossing. Returns
+    /// `Val(accepted)`; fewer than `sqes.len()` when the ring fills
+    /// mid-batch, `EAGAIN` when no entry fits at all.
+    RingSubmit {
+        /// Ring id from [`SyscallReq::RingCreate`].
+        ring: u64,
+        /// The submissions, in order.
+        sqes: Vec<SpliceSqe>,
+    },
+    /// Reap queued completions in **one** crossing. Blocks until at
+    /// least `min` CQEs are available (clamped to what can still
+    /// arrive); `min = 0` polls. Returns [`SyscallRet::Cqes`] in
+    /// completion order.
+    RingReap {
+        /// Ring id from [`SyscallReq::RingCreate`].
+        ring: u64,
+        /// Minimum completions to wait for.
+        min: u32,
     },
     /// Flush a file's dirty blocks (and metadata) to the device.
     Fsync(Fd),
@@ -351,6 +431,8 @@ pub enum SyscallRet {
     Data(Vec<u8>),
     /// Current simulated time.
     Time(SimTime),
+    /// Reaped ring completions, in completion order.
+    Cqes(Vec<SpliceCqe>),
     /// Failure.
     Err(Errno),
 }
@@ -364,6 +446,7 @@ impl SyscallRet {
             SyscallRet::NewFd(fd) => fd.0 as i64,
             SyscallRet::Data(d) => d.len() as i64,
             SyscallRet::Time(_) => 0,
+            SyscallRet::Cqes(c) => c.len() as i64,
             SyscallRet::Err(_) => -1,
         }
     }
@@ -388,6 +471,8 @@ pub enum Errno {
     Ebadf,
     /// Invalid argument.
     Einval,
+    /// Resource temporarily unavailable (a full submission queue).
+    Eagain,
     /// No space left on device.
     Enospc,
     /// Is a directory.

@@ -223,6 +223,20 @@ pub enum TraceEvent {
         /// Splice descriptor id.
         desc: u64,
     },
+    /// One `sys_ring_submit` crossing accepted a batch of SQEs.
+    RingSubmit {
+        /// Ring id.
+        ring: u64,
+        /// SQEs accepted in this crossing.
+        entries: u32,
+    },
+    /// One `sys_ring_reap` crossing drained a batch of CQEs.
+    RingReap {
+        /// Ring id.
+        ring: u64,
+        /// CQEs handed to the reaper in this crossing.
+        entries: u32,
+    },
 }
 
 impl TraceEvent {
@@ -258,6 +272,8 @@ impl TraceEvent {
             TraceEvent::SpliceRetry { .. } => "splice.retry",
             TraceEvent::SpliceAbort { .. } => "splice.abort",
             TraceEvent::SpliceComplete { .. } => "splice.complete",
+            TraceEvent::RingSubmit { .. } => "ring.submit",
+            TraceEvent::RingReap { .. } => "ring.reap",
         }
     }
 
@@ -368,6 +384,11 @@ impl TraceEvent {
             TraceEvent::SpliceRefill { desc } | TraceEvent::SpliceComplete { desc } => {
                 Json::obj().with("desc", num(desc))
             }
+            TraceEvent::RingSubmit { ring, entries } | TraceEvent::RingReap { ring, entries } => {
+                Json::obj()
+                    .with("ring", num(ring))
+                    .with("entries", num(entries as u64))
+            }
         }
     }
 }
@@ -421,6 +442,9 @@ impl fmt::Display for TraceEvent {
             TraceEvent::SpliceAbort { desc, errno } => write!(f, " desc={desc} errno={errno}"),
             TraceEvent::SpliceRefill { desc } | TraceEvent::SpliceComplete { desc } => {
                 write!(f, " desc={desc}")
+            }
+            TraceEvent::RingSubmit { ring, entries } | TraceEvent::RingReap { ring, entries } => {
+                write!(f, " ring={ring} entries={entries}")
             }
         }
     }

@@ -11,7 +11,7 @@
 
 use kdev::Framebuffer;
 use kproc::programs::UdpSink;
-use kproc::{Fd, OpenFlags, Program, SockAddr, SpliceArgs, Step, SyscallReq, SyscallRet, UserCtx};
+use kproc::{Fd, OpenFlags, Program, SockAddr, SpliceReq, Step, SyscallReq, SyscallRet, UserCtx};
 use splice::KernelBuilder;
 
 const FRAME: usize = 256 * 1024; // 256 KB frames (e.g. 512x512x8bit)
@@ -56,7 +56,7 @@ impl Program for FbStreamer {
                 ctx.take_ret();
                 self.st = 4;
                 Step::splice(
-                    SpliceArgs::new(self.fb_fd.unwrap(), self.sock_fd.unwrap())
+                    SpliceReq::new(self.fb_fd.unwrap(), self.sock_fd.unwrap())
                         .bytes(FRAMES_TO_SEND * FRAME as u64),
                 )
             }

@@ -33,6 +33,8 @@ FAULT_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
 echo "-- FAULT_SEED=$FAULT_SEED"
 FAULT_SEED="$FAULT_SEED" cargo test -q --test faults any_seed_transient_faults_recover ||
     { echo "fault suite FAILED with FAULT_SEED=$FAULT_SEED (export it to reproduce)"; exit 1; }
+FAULT_SEED="$FAULT_SEED" cargo test -q --test ring ring_runs_are_deterministic_under_fault_seed ||
+    { echo "ring suite FAILED with FAULT_SEED=$FAULT_SEED (export it to reproduce)"; exit 1; }
 
 echo "== table1 smoke run =="
 rm -f BENCH_table1.json
@@ -53,6 +55,11 @@ echo "== fault sweep smoke run =="
 rm -f BENCH_faults.json
 cargo run --release -p bench --bin faults
 test -s BENCH_faults.json
+
+echo "== splice ring smoke run =="
+rm -f BENCH_ring.json
+cargo run --release -p bench --bin ring
+test -s BENCH_ring.json
 
 echo "== tracedump smoke run =="
 rm -f TRACE_scp_ram.json
@@ -122,6 +129,33 @@ for row in rows:
     # Recovery stays cheap: within 25% of fault-free throughput.
     assert row["kb_per_s"] >= 0.75 * base["kb_per_s"], row
 print("BENCH_faults.json: ok (%d rows)" % len(rows))
+
+doc = json.load(open("BENCH_ring.json"))
+assert doc["table"] == "ring", doc.get("table")
+rows = doc["rows"]
+# The legacy baseline plus the measured ring depths.
+assert [row["depth"] for row in rows] == [0, 1, 8, 64, 256], rows
+legacy = rows[0]
+ring = rows[1:]
+for row in rows:
+    for key in ("mode", "crossings", "bytes", "crossings_per_mb",
+                "elapsed_s", "copier_cpu_s", "compute_cpu_share"):
+        assert key in row, (key, row)
+    assert row["crossings"] > 0 and row["bytes"] > 0, row
+# Batching must amortise crossings: strictly monotone in ring depth.
+per_mb = [row["crossings_per_mb"] for row in ring]
+assert all(a > b for a, b in zip(per_mb, per_mb[1:])), per_mb
+# Deep rings leave the compute program more CPU than one-at-a-time.
+for row in ring:
+    if row["depth"] >= 64:
+        assert row["compute_cpu_share"] > legacy["compute_cpu_share"], row
+# Depth-1 is the equivalence baseline: same protocol, one splice per
+# wave, so its copier CPU cost must match legacy within tolerance.
+ratio = doc["depth1_vs_legacy_cpu_ratio"]
+assert 0.95 <= ratio <= 1.05, ratio
+assert abs(ratio - ring[0]["copier_cpu_s"] / legacy["copier_cpu_s"]) < 1e-9, ratio
+print("BENCH_ring.json: ok (%d rows, depth-1/legacy cpu ratio %.3f)"
+      % (len(rows), ratio))
 
 # The Chrome trace export: structurally valid and per-track monotone,
 # i.e. exactly what Perfetto / chrome://tracing require to load it.

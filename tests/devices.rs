@@ -5,7 +5,7 @@ use kdev::{AudioDac, Framebuffer, VideoDac};
 use khw::DiskProfile;
 use kproc::programs::{MoviePlayer, UdpSink};
 use kproc::{
-    Fd, OpenFlags, ProcState, Program, SockAddr, SpliceArgs, SpliceLen, Step, SyscallReq, UserCtx,
+    Fd, OpenFlags, ProcState, Program, SockAddr, SpliceLen, SpliceReq, Step, SyscallReq, UserCtx,
 };
 use ksim::Dur;
 use splice::objects::CharDev;
@@ -55,11 +55,9 @@ impl Program for SpliceOnce {
             2 => {
                 self.dst_fd = ctx.take_ret().as_fd();
                 self.st = 3;
-                Step::splice(SpliceArgs {
-                    src: self.src_fd.unwrap(),
-                    dst: self.dst_fd.unwrap(),
-                    len: self.len,
-                })
+                Step::splice(
+                    SpliceReq::new(self.src_fd.unwrap(), self.dst_fd.unwrap()).len(self.len),
+                )
             }
             3 => {
                 let ret = ctx.take_ret();
@@ -197,7 +195,7 @@ fn framebuffer_to_socket_splice_delivers_datagrams() {
                     ctx.take_ret();
                     self.st = 4;
                     Step::splice(
-                        SpliceArgs::new(self.fb.unwrap(), self.sock.unwrap()).bytes(self.total),
+                        SpliceReq::new(self.fb.unwrap(), self.sock.unwrap()).bytes(self.total),
                     )
                 }
                 4 => {

@@ -62,8 +62,8 @@ fn transient_read_eio_recovers_byte_exact() {
         "errors must surface as engine retries"
     );
     assert_eq!(m.splice.aborted, 0, "transient errors must not abort");
-    assert_eq!(k.splice_outcome(1).unwrap().error, None);
-    assert_eq!(k.splice_outcome(1).unwrap().bytes_moved, len);
+    assert_eq!(k.splice_outcome(1).done().unwrap().error, None);
+    assert_eq!(k.splice_outcome(1).done().unwrap().bytes_moved, len);
     assert!(k.fsck_all().is_empty());
 }
 
@@ -132,7 +132,7 @@ fn permanent_bad_block_aborts_with_typed_errno_and_exact_partial_count() {
     // Exact partial accounting: every block except the bad one drained
     // (the engine keeps moving the rest while one block retries), and
     // the recorded outcome matches the span's byte counter.
-    let out = k.splice_outcome(1).expect("outcome recorded");
+    let out = k.splice_outcome(1).done().expect("outcome recorded");
     assert_eq!(out.error, Some(Errno::Eio));
     assert_eq!(out.bytes_moved, (nblocks - 1) * 8192);
     assert_eq!(m.splice[1].bytes_moved, out.bytes_moved);
@@ -176,7 +176,7 @@ fn permanent_write_fault_aborts_and_dst_fs_stays_consistent() {
     let m = k.metrics();
     assert_eq!(m.splice.aborted, 1);
     assert!(m.splice.retries >= MAX_SPLICE_RETRIES as u64);
-    let out = k.splice_outcome(1).expect("outcome recorded");
+    let out = k.splice_outcome(1).done().expect("outcome recorded");
     assert_eq!(out.error, Some(Errno::Eio));
     assert!(out.bytes_moved < len, "no write ever completed");
 
@@ -243,7 +243,7 @@ fn device_sink_write_failure_aborts_with_eio() {
     let m = k.metrics();
     assert_eq!(m.splice.aborted, 1);
     assert!(m.io.errors > 0);
-    let out = k.splice_outcome(1).expect("outcome recorded");
+    let out = k.splice_outcome(1).done().expect("outcome recorded");
     assert_eq!(out.error, Some(Errno::Eio));
     assert_eq!(out.bytes_moved, 2 * 8192);
     assert_eq!(k.pending_callouts(), 0);

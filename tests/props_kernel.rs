@@ -121,7 +121,7 @@ proptest! {
 
         prop_assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
         let got = result.borrow().clone().expect("splice returned");
-        let out = k.splice_outcome(1).expect("outcome recorded");
+        let out = k.splice_outcome(1).done().expect("outcome recorded");
         let q = k.trace().query();
         match got {
             SyscallRet::Val(n) => {

@@ -1,0 +1,425 @@
+//! Splice-ring suite: the batched submission/completion API end to end —
+//! depth-1 equivalence with the legacy sync path, bounded-SQ
+//! backpressure (`EAGAIN`), completion-order reaping with causally
+//! ordered block spans, fault-plan interaction (aborted entries latch
+//! their errno in the CQE), and seeded determinism.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use khw::{FaultOp, FaultPlan, SECTOR_SIZE};
+use kproc::programs::RingScp;
+use kproc::{
+    Errno, Fd, OpenFlags, ProcState, Program, SpliceCqe, SpliceReq, Step, SyscallReq, SyscallRet,
+    UserCtx,
+};
+use splice::{Kernel, KernelBuilder};
+
+const BLK: u64 = 8192;
+
+/// First device sector of logical block `lblk` of a file (fs-local path).
+fn sector_of(k: &Kernel, disk: usize, path: &str, lblk: u64) -> u64 {
+    let ino = k.disks()[disk].fs.lookup(path).expect("file exists");
+    let pblk = k.disks()[disk].fs.bmap(ino, lblk).expect("mapped block");
+    pblk * (BLK / SECTOR_SIZE as u64)
+}
+
+/// Everything the driver observed, for assertions after exit.
+#[derive(Default)]
+struct RingLog {
+    /// Raw return of every `ring_submit` crossing, in order.
+    submits: Vec<SyscallRet>,
+    /// Every CQE reaped, in the order the kernel handed them over.
+    cqes: Vec<SpliceCqe>,
+}
+
+type LogCell = Rc<RefCell<RingLog>>;
+
+#[derive(Clone, Copy)]
+enum St {
+    Start,
+    OpenSrc(usize),
+    OpenDst(usize),
+    Create,
+    Submit,
+    Probe,
+    Reap,
+    Done,
+}
+
+/// Scripted ring user: opens all pairs, creates one ring, submits every
+/// pair in as few crossings as the SQ allows (`user_data` = pair index),
+/// and reaps until all complete — recording raw returns and CQEs. With
+/// `probe_full` it re-submits the leftovers while the SQ is known full,
+/// to capture the backpressure errno.
+struct RingDriver {
+    pairs: Vec<(String, String)>,
+    depth: u32,
+    probe_full: bool,
+    st: St,
+    ring: u64,
+    src_fds: Vec<Fd>,
+    dst_fds: Vec<Fd>,
+    submitted: usize,
+    outstanding: u32,
+    log: LogCell,
+}
+
+impl RingDriver {
+    fn new(pairs: &[(&str, &str)], depth: u32, probe_full: bool) -> (RingDriver, LogCell) {
+        let log: LogCell = Rc::new(RefCell::new(RingLog::default()));
+        (
+            RingDriver {
+                pairs: pairs
+                    .iter()
+                    .map(|(s, d)| (s.to_string(), d.to_string()))
+                    .collect(),
+                depth,
+                probe_full,
+                st: St::Start,
+                ring: 0,
+                src_fds: Vec::new(),
+                dst_fds: Vec::new(),
+                submitted: 0,
+                outstanding: 0,
+                log: log.clone(),
+            },
+            log,
+        )
+    }
+
+    fn open(&self, src: bool, i: usize) -> Step {
+        let (path, flags) = if src {
+            (&self.pairs[i].0, OpenFlags::RDONLY)
+        } else {
+            (&self.pairs[i].1, OpenFlags::CREATE)
+        };
+        Step::Syscall(SyscallReq::Open {
+            path: path.clone(),
+            flags,
+        })
+    }
+
+    /// One crossing carrying every not-yet-accepted pair.
+    fn submit_rest(&self) -> Step {
+        let sqes = (self.submitted..self.pairs.len())
+            .map(|i| SpliceReq::new(self.src_fds[i], self.dst_fds[i]).sqe(i as u64))
+            .collect();
+        Step::Syscall(SyscallReq::RingSubmit {
+            ring: self.ring,
+            sqes,
+        })
+    }
+}
+
+impl Program for RingDriver {
+    fn step(&mut self, ctx: &mut UserCtx) -> Step {
+        match self.st {
+            St::Start => {
+                self.st = St::OpenSrc(0);
+                self.open(true, 0)
+            }
+            St::OpenSrc(i) => {
+                match ctx.take_ret() {
+                    SyscallRet::NewFd(fd) => self.src_fds.push(fd),
+                    _ => return Step::Exit(2),
+                }
+                self.st = St::OpenDst(i);
+                self.open(false, i)
+            }
+            St::OpenDst(i) => {
+                match ctx.take_ret() {
+                    SyscallRet::NewFd(fd) => self.dst_fds.push(fd),
+                    _ => return Step::Exit(2),
+                }
+                if i + 1 < self.pairs.len() {
+                    self.st = St::OpenSrc(i + 1);
+                    return self.open(true, i + 1);
+                }
+                self.st = St::Create;
+                Step::Syscall(SyscallReq::RingCreate {
+                    depth: self.depth,
+                    sigio: false,
+                })
+            }
+            St::Create => {
+                match ctx.take_ret() {
+                    SyscallRet::Val(id) if id > 0 => self.ring = id as u64,
+                    _ => return Step::Exit(2),
+                }
+                self.st = St::Submit;
+                self.submit_rest()
+            }
+            St::Submit => {
+                let ret = ctx.take_ret();
+                if let SyscallRet::Val(a) = ret {
+                    self.submitted += a as usize;
+                    self.outstanding = a as u32;
+                }
+                self.log.borrow_mut().submits.push(ret);
+                if self.probe_full && self.submitted < self.pairs.len() {
+                    // The SQ is full right now: this crossing must bounce.
+                    self.st = St::Probe;
+                    return self.submit_rest();
+                }
+                self.st = St::Reap;
+                Step::Syscall(SyscallReq::RingReap {
+                    ring: self.ring,
+                    min: self.outstanding,
+                })
+            }
+            St::Probe => {
+                let ret = ctx.take_ret();
+                self.log.borrow_mut().submits.push(ret);
+                self.st = St::Reap;
+                Step::Syscall(SyscallReq::RingReap {
+                    ring: self.ring,
+                    min: self.outstanding,
+                })
+            }
+            St::Reap => {
+                match ctx.take_ret() {
+                    SyscallRet::Cqes(cqes) => self.log.borrow_mut().cqes.extend(cqes),
+                    _ => return Step::Exit(3),
+                }
+                if self.submitted < self.pairs.len() {
+                    self.st = St::Submit;
+                    return self.submit_rest();
+                }
+                self.st = St::Done;
+                Step::Exit(0)
+            }
+            St::Done => Step::Exit(0),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ring_driver"
+    }
+}
+
+/// A depth-1 ring performs the same copies, byte-exact, as the legacy
+/// one-at-a-time `splice(2)` path over the identical seeded file set.
+#[test]
+fn depth1_ring_matches_legacy_sync_byte_exact() {
+    let run = |depth: u32| {
+        let n = 16usize;
+        let len = 4 * BLK;
+        let mut k = KernelBuilder::paper_machine_ram().build();
+        for i in 0..n {
+            k.setup_file(&format!("/d0/f{i}"), len, 0x51ce ^ i as u64);
+        }
+        k.cold_cache();
+        let pid = k.spawn(Box::new(RingScp::new("/d0/f", "/d1/c", n, depth)));
+        let horizon = k.horizon(600);
+        k.run_to_exit(horizon);
+        assert!(
+            matches!(k.procs().must(pid).state, ProcState::Exited(0)),
+            "depth {depth}: copier failed"
+        );
+        for i in 0..n {
+            assert_eq!(
+                k.verify_pattern_file(&format!("/d1/c{i}"), len, 0x51ce ^ i as u64),
+                None,
+                "depth {depth}: copy {i} corrupt"
+            );
+        }
+        k.metrics().splice.completed
+    };
+    // Same number of completed splices, and both runs byte-exact.
+    assert_eq!(run(1), run(0));
+}
+
+/// A bounded SQ accepts what fits (partial count), bounces a submission
+/// to a full ring with `EAGAIN`, and accepts the leftovers after a reap
+/// frees entries.
+#[test]
+fn sq_full_backpressure_partial_accept_then_eagain() {
+    let len = 4 * BLK;
+    let mut k = KernelBuilder::paper_machine_ram().build();
+    for i in 0..3 {
+        k.setup_file(&format!("/d0/f{i}"), len, 10 + i);
+    }
+    k.cold_cache();
+    let (driver, log) = RingDriver::new(
+        &[
+            ("/d0/f0", "/d1/c0"),
+            ("/d0/f1", "/d1/c1"),
+            ("/d0/f2", "/d1/c2"),
+        ],
+        2,
+        true,
+    );
+    let pid = k.spawn(Box::new(driver));
+    let horizon = k.horizon(600);
+    k.run_to_exit(horizon);
+
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    let log = log.borrow();
+    assert_eq!(
+        log.submits,
+        vec![
+            SyscallRet::Val(2),
+            SyscallRet::Err(Errno::Eagain),
+            SyscallRet::Val(1),
+        ],
+        "expected partial accept, EAGAIN while full, then the leftover"
+    );
+    assert_eq!(log.cqes.len(), 3);
+    assert!(log.cqes.iter().all(|c| c.outcome.error.is_none()));
+    for i in 0..3u64 {
+        assert_eq!(
+            k.verify_pattern_file(&format!("/d1/c{i}"), len, 10 + i),
+            None
+        );
+    }
+}
+
+/// CQEs come back in completion order, not submission order: a small
+/// transfer submitted second overtakes a large one submitted first. The
+/// per-block trace spans of both stay causally ordered.
+#[test]
+fn reap_order_is_completion_order_with_ordered_spans() {
+    let mut k = KernelBuilder::paper_machine_ram().trace(100_000).build();
+    k.setup_file("/d0/big", 16 * BLK, 21);
+    k.setup_file("/d0/small", BLK, 22);
+    k.cold_cache();
+    let (driver, log) = RingDriver::new(
+        &[("/d0/big", "/d1/big"), ("/d0/small", "/d1/small")],
+        8,
+        false,
+    );
+    let pid = k.spawn(Box::new(driver));
+    let horizon = k.horizon(600);
+    k.run_to_exit(horizon);
+
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    let log = log.borrow();
+    let order: Vec<u64> = log.cqes.iter().map(|c| c.user_data).collect();
+    assert_eq!(
+        order,
+        vec![1, 0],
+        "the 1-block splice must complete (and reap) before the 16-block one"
+    );
+    assert_eq!(log.cqes[0].outcome.bytes_moved, BLK);
+    assert_eq!(log.cqes[1].outcome.bytes_moved, 16 * BLK);
+
+    // One submit crossing carried both SQEs; one reap drained both CQEs.
+    let q = k.trace().query();
+    assert_eq!(q.named("ring.submit").len(), 1);
+    assert_eq!(q.named("ring.reap").len(), 1);
+    // Out-of-order reaping never reorders the data path itself: every
+    // block span of both descriptors is complete and causally ordered.
+    for desc in [1, 2] {
+        let spans = q.block_spans(desc);
+        assert!(!spans.is_empty(), "desc {desc} left no spans");
+        for s in spans {
+            assert!(s.complete(), "desc {desc} incomplete span");
+            assert!(s.ordered(), "desc {desc} out-of-order span");
+        }
+    }
+}
+
+/// A permanent device fault aborts only the entry it hits: that CQE
+/// latches the typed errno and the exact partial byte count, while the
+/// other entries in the same batch complete untouched.
+#[test]
+fn aborted_entry_latches_errno_in_cqe() {
+    let nblocks = 16u64;
+    let len = nblocks * BLK;
+    let mut k = KernelBuilder::paper_machine_ram()
+        .tune(|cfg| cfg.update_interval = None)
+        .build();
+    for i in 0..3 {
+        k.setup_file(&format!("/d0/g{i}"), len, 30 + i);
+    }
+    k.cold_cache();
+    let sector = sector_of(&k, 0, "/g1", 4);
+    k.set_fault_plan(0, FaultPlan::new(1).bad_block(FaultOp::Read, sector));
+
+    let (driver, log) = RingDriver::new(
+        &[
+            ("/d0/g0", "/d1/h0"),
+            ("/d0/g1", "/d1/h1"),
+            ("/d0/g2", "/d1/h2"),
+        ],
+        8,
+        false,
+    );
+    let pid = k.spawn(Box::new(driver));
+    let horizon = k.horizon(600);
+    k.run_to_exit(horizon);
+
+    // The driver itself exits cleanly: errors surface in CQEs, not as
+    // syscall failures on the batch.
+    assert!(matches!(k.procs().must(pid).state, ProcState::Exited(0)));
+    let log = log.borrow();
+    assert_eq!(log.cqes.len(), 3);
+    let by_ud = |ud: u64| log.cqes.iter().find(|c| c.user_data == ud).unwrap();
+    assert_eq!(by_ud(1).outcome.error, Some(Errno::Eio));
+    assert_eq!(
+        by_ud(1).outcome.bytes_moved,
+        (nblocks - 1) * BLK,
+        "every block but the bad one drains before the abort"
+    );
+    for ud in [0, 2] {
+        assert_eq!(by_ud(ud).outcome.error, None);
+        assert_eq!(by_ud(ud).outcome.bytes_moved, len);
+    }
+    assert_eq!(k.metrics().splice.aborted, 1);
+    assert_eq!(
+        k.verify_pattern_file("/d1/h0", len, 30),
+        None,
+        "sibling entry corrupt"
+    );
+    assert_eq!(k.verify_pattern_file("/d1/h2", len, 32), None);
+}
+
+/// Ring runs replay identically for a given fault seed, and transient
+/// faults recover byte-exact through the ring path for *any* seed
+/// (`FAULT_SEED` is randomized by `scripts/ci.sh`).
+#[test]
+fn ring_runs_are_deterministic_under_fault_seed() {
+    let seed: u64 = std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD15C);
+    let n = 8usize;
+    let len = 8 * BLK;
+    let run = || {
+        let mut k = KernelBuilder::paper_machine_ram()
+            .tune(|cfg| cfg.update_interval = None)
+            .build();
+        for i in 0..n {
+            k.setup_file(&format!("/d0/f{i}"), len, 40 + i as u64);
+        }
+        k.cold_cache();
+        k.set_fault_plan(0, FaultPlan::new(seed).transient_eio(FaultOp::Read, 0.02));
+        let pid = k.spawn(Box::new(RingScp::new("/d0/f", "/d1/c", n, 4)));
+        let horizon = k.horizon(600);
+        let end = k.run_to_exit(horizon);
+        assert!(
+            matches!(k.procs().must(pid).state, ProcState::Exited(0)),
+            "FAULT_SEED={seed}: ring copy failed"
+        );
+        for i in 0..n {
+            assert_eq!(
+                k.verify_pattern_file(&format!("/d1/c{i}"), len, 40 + i as u64),
+                None,
+                "FAULT_SEED={seed}: copy {i} corrupt"
+            );
+        }
+        let m = k.metrics();
+        assert_eq!(
+            m.splice.aborted, 0,
+            "FAULT_SEED={seed}: transient faults must never abort"
+        );
+        (
+            end.as_ns(),
+            m.io.errors,
+            m.splice.retries,
+            m.splice.completed,
+        )
+    };
+    assert_eq!(run(), run(), "FAULT_SEED={seed}: replay diverged");
+}
