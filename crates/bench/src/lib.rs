@@ -19,6 +19,7 @@
 //! performance number from a corrupted run would be meaningless.
 
 pub mod json_out;
+pub mod simspeed;
 pub mod workloads;
 
 pub use json_out::{bench_doc, json_rows, write_bench_json, write_table};

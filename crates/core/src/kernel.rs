@@ -80,6 +80,9 @@ pub struct Kernel {
     pub(crate) cfg: KernelConfig,
     pub(crate) q: EventQueue<Event>,
     pub(crate) callout: Callout<KWork>,
+    /// Scratch for `on_tick`'s callout drain, reused so softclock does
+    /// not allocate per tick in steady state.
+    pub(crate) callout_due: Vec<KWork>,
     pub(crate) tick: u64,
     pub(crate) cpu: CpuEngine,
     pub(crate) sched: Scheduler,
@@ -144,6 +147,7 @@ impl Kernel {
             cfg,
             q: EventQueue::new(),
             callout: Callout::new(),
+            callout_due: Vec::new(),
             tick: 0,
             procs: ProcTable::new(),
             disks: Vec::new(),
@@ -961,11 +965,14 @@ impl Kernel {
             self.enqueue_kwork(WorkClass::Soft, cost, work);
         }
         let tick = self.tick;
-        for work in self.callout.expire(self.tick) {
+        let mut due = std::mem::take(&mut self.callout_due);
+        self.callout.expire_into(self.tick, &mut due);
+        for work in due.drain(..) {
             self.trace.emit(now, || TraceEvent::CalloutFire { tick });
             let cost = self.cfg.machine.callout_dispatch + self.kwork_base_cost(&work);
             self.enqueue_kwork(WorkClass::Soft, cost, work);
         }
+        self.callout_due = due;
         self.q.schedule(now + self.cfg.machine.tick(), Event::Tick);
     }
 

@@ -27,7 +27,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use ksim::{Dur, HistSummary, Json, SimTime, StageHists, TraceEvent};
+use ksim::{CounterId, Dur, HistSummary, Json, SimTime, StageHists, Trace, TraceEvent};
 
 use crate::event::KWork;
 use crate::kernel::Kernel;
@@ -253,6 +253,39 @@ impl ProfileSample {
     }
 }
 
+/// Interned counter-track handles, registered on the first sample (so a
+/// run that never samples registers nothing and trace bytes are
+/// untouched). Steady-state recording is then allocation-free: no
+/// `format!` per gauge per sample, no name scans.
+#[derive(Debug)]
+pub(crate) struct SamplerSeries {
+    inflight_reads: CounterId,
+    inflight_writes: CounterId,
+    /// One series per disk, in disk-index order.
+    disk_queues: Vec<CounterId>,
+    cache_resident: CounterId,
+    cache_dirty: CounterId,
+    /// Per-PID `pid{pid}.cpu_share` series, interned when the pid is
+    /// first sampled (pid-order iteration keeps registration, and thus
+    /// Chrome track numbering, deterministic).
+    pid_shares: HashMap<u32, CounterId>,
+}
+
+impl SamplerSeries {
+    fn register(trace: &mut Trace, ndisks: usize) -> Self {
+        SamplerSeries {
+            inflight_reads: trace.counter_id("splice.inflight_reads"),
+            inflight_writes: trace.counter_id("splice.inflight_writes"),
+            disk_queues: (0..ndisks)
+                .map(|i| trace.counter_id(&format!("disk{i}.queue")))
+                .collect(),
+            cache_resident: trace.counter_id("cache.resident"),
+            cache_dirty: trace.counter_id("cache.dirty"),
+            pid_shares: HashMap::new(),
+        }
+    }
+}
+
 /// The callout-driven gauge recorder (see the module docs). Owned by
 /// the kernel when sampling is enabled.
 #[derive(Debug)]
@@ -269,6 +302,8 @@ pub(crate) struct Sampler {
     pub(crate) last_at: SimTime,
     /// Samples dropped at capacity.
     pub(crate) dropped: u64,
+    /// Interned counter handles, populated on the first firing.
+    pub(crate) series: Option<SamplerSeries>,
 }
 
 impl Kernel {
@@ -285,6 +320,7 @@ impl Kernel {
             last_cpu: HashMap::new(),
             last_at: self.q.now(),
             dropped: 0,
+            series: None,
         });
         let ticks = self.dur_to_ticks(period);
         self.callout.schedule(self.tick, ticks, KWork::Sample);
@@ -336,21 +372,35 @@ impl Kernel {
         }
         s.last_at = now;
 
+        // Intern the series handles on the first firing (matching the
+        // creation order the by-name path used), then record through
+        // them: the steady-state sample costs no allocation and no name
+        // scans. Only a newly appeared pid interns a new series.
+        let series = s
+            .series
+            .get_or_insert_with(|| SamplerSeries::register(&mut self.trace, disk_queues.len()));
         self.trace
-            .record_counter(now, "splice.inflight_reads", inflight_reads as f64);
+            .record_counter_id(now, series.inflight_reads, inflight_reads as f64);
         self.trace
-            .record_counter(now, "splice.inflight_writes", inflight_writes as f64);
+            .record_counter_id(now, series.inflight_writes, inflight_writes as f64);
         for (i, q) in disk_queues.iter().enumerate() {
             self.trace
-                .record_counter(now, &format!("disk{i}.queue"), *q as f64);
+                .record_counter_id(now, series.disk_queues[i], *q as f64);
         }
         self.trace
-            .record_counter(now, "cache.resident", cache_resident as f64);
+            .record_counter_id(now, series.cache_resident, cache_resident as f64);
         self.trace
-            .record_counter(now, "cache.dirty", cache_dirty as f64);
+            .record_counter_id(now, series.cache_dirty, cache_dirty as f64);
         for (pid, frac) in &cpu_share {
-            self.trace
-                .record_counter(now, &format!("pid{pid}.cpu_share"), *frac);
+            let id = match series.pid_shares.get(pid) {
+                Some(&id) => id,
+                None => {
+                    let id = self.trace.counter_id(&format!("pid{pid}.cpu_share"));
+                    series.pid_shares.insert(*pid, id);
+                    id
+                }
+            };
+            self.trace.record_counter_id(now, id, *frac);
         }
 
         if s.samples.len() == s.capacity {

@@ -7,7 +7,7 @@
 //! expressed as an outcome (`Busy`, `NoBuffers`) that tells the caller to
 //! sleep and retry — processes via the scheduler, splice via a callout.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use crate::data::BufData;
 use crate::flags::BufFlags;
@@ -107,7 +107,15 @@ struct Buf {
     pool: bool,
     /// Non-pool headers that have been destroyed await reuse.
     dead: bool,
+    /// Intrusive LRU free-list links (slab indices; [`LRU_NIL`] = end).
+    lru_prev: u32,
+    lru_next: u32,
+    /// True while this buffer is linked on the free list.
+    on_free: bool,
 }
+
+/// Sentinel slab index: end of the intrusive LRU free list.
+const LRU_NIL: u32 = u32::MAX;
 
 /// One cache occurrence for the kernel's typed trace.
 ///
@@ -143,8 +151,13 @@ pub enum CacheEvent {
 pub struct Cache {
     bufs: Vec<Buf>,
     hash: HashMap<(DevId, u64), BufId>,
-    /// LRU free list of pool buffers (front = next victim).
-    free: VecDeque<BufId>,
+    /// LRU free list of pool buffers (front = next victim), threaded
+    /// through the buffers' intrusive `lru_prev`/`lru_next` links so
+    /// removing a specific buffer (getblk hit, flush claim, purge) is
+    /// O(1) instead of a positional scan.
+    lru_head: u32,
+    lru_tail: u32,
+    free_len: usize,
     /// Recycled non-pool header slots.
     free_headers: Vec<BufId>,
     bufsize: usize,
@@ -163,7 +176,6 @@ impl Cache {
     pub fn new(nbufs: usize, bufsize: usize) -> Self {
         assert!(nbufs > 0 && bufsize > 0);
         let mut bufs = Vec::with_capacity(nbufs);
-        let mut free = VecDeque::with_capacity(nbufs);
         for i in 0..nbufs {
             bufs.push(Buf {
                 dev: None,
@@ -175,13 +187,22 @@ impl Cache {
                 splice: None,
                 pool: true,
                 dead: false,
+                // Boot order doubles as the initial LRU order.
+                lru_prev: if i == 0 { LRU_NIL } else { (i - 1) as u32 },
+                lru_next: if i + 1 == nbufs {
+                    LRU_NIL
+                } else {
+                    (i + 1) as u32
+                },
+                on_free: true,
             });
-            free.push_back(BufId(i as u32));
         }
         Cache {
             bufs,
             hash: HashMap::new(),
-            free,
+            lru_head: 0,
+            lru_tail: (nbufs - 1) as u32,
+            free_len: nbufs,
             free_headers: Vec::new(),
             bufsize,
             pool_size: nbufs,
@@ -217,7 +238,76 @@ impl Cache {
 
     /// Number of buffers on the free list.
     pub fn free_count(&self) -> usize {
-        self.free.len()
+        self.free_len
+    }
+
+    // ----- intrusive LRU free list ----------------------------------------
+
+    /// Links `id` at the front of the free list (next victim).
+    fn free_push_front(&mut self, id: BufId) {
+        let b = &mut self.bufs[id.0 as usize];
+        debug_assert!(!b.on_free, "{id:?} already on free list");
+        b.on_free = true;
+        b.lru_prev = LRU_NIL;
+        b.lru_next = self.lru_head;
+        if self.lru_head != LRU_NIL {
+            self.bufs[self.lru_head as usize].lru_prev = id.0;
+        } else {
+            self.lru_tail = id.0;
+        }
+        self.lru_head = id.0;
+        self.free_len += 1;
+    }
+
+    /// Links `id` at the back of the free list (survives longest).
+    fn free_push_back(&mut self, id: BufId) {
+        let b = &mut self.bufs[id.0 as usize];
+        debug_assert!(!b.on_free, "{id:?} already on free list");
+        b.on_free = true;
+        b.lru_next = LRU_NIL;
+        b.lru_prev = self.lru_tail;
+        if self.lru_tail != LRU_NIL {
+            self.bufs[self.lru_tail as usize].lru_next = id.0;
+        } else {
+            self.lru_head = id.0;
+        }
+        self.lru_tail = id.0;
+        self.free_len += 1;
+    }
+
+    /// Unlinks and returns the front of the free list (LRU victim).
+    fn free_pop_front(&mut self) -> Option<BufId> {
+        if self.lru_head == LRU_NIL {
+            return None;
+        }
+        let id = BufId(self.lru_head);
+        self.free_unlink(id, "free list head must be on free list");
+        Some(id)
+    }
+
+    /// Unlinks a specific buffer from the free list in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics with `msg` if `id` is not on the free list.
+    fn free_unlink(&mut self, id: BufId, msg: &str) {
+        let (prev, next) = {
+            let b = &mut self.bufs[id.0 as usize];
+            assert!(b.on_free, "{msg}");
+            b.on_free = false;
+            (b.lru_prev, b.lru_next)
+        };
+        if prev != LRU_NIL {
+            self.bufs[prev as usize].lru_next = next;
+        } else {
+            self.lru_head = next;
+        }
+        if next != LRU_NIL {
+            self.bufs[next as usize].lru_prev = prev;
+        } else {
+            self.lru_tail = prev;
+        }
+        self.free_len -= 1;
     }
 
     /// Number of pool buffers configured at construction.
@@ -323,18 +413,13 @@ impl Cache {
                 b.flags.remove(BufFlags::DONE);
             }
             // Remove from the free list.
-            let pos = self
-                .free
-                .iter()
-                .position(|&f| f == id)
-                .expect("non-busy cached buffer must be on free list");
-            self.free.remove(pos);
+            self.free_unlink(id, "non-busy cached buffer must be on free list");
             return GetblkOutcome::Held(id);
         }
 
         // Miss: recycle from the LRU free list, flushing dirty victims.
         loop {
-            let Some(victim) = self.free.pop_front() else {
+            let Some(victim) = self.free_pop_front() else {
                 return GetblkOutcome::NoBuffers;
             };
             if self.buf(victim).flags.contains(BufFlags::DELWRI) {
@@ -466,7 +551,7 @@ impl Cache {
         len: usize,
         effects: &mut Vec<Effect>,
     ) -> Option<BufId> {
-        if self.incore(dev, blkno) || self.free.is_empty() {
+        if self.incore(dev, blkno) || self.free_len == 0 {
             return None;
         }
         match self.getblk(dev, blkno, len, effects) {
@@ -567,7 +652,7 @@ impl Cache {
 
     /// Releases a held buffer back to the cache (`brelse`).
     pub fn brelse(&mut self, id: BufId, effects: &mut Vec<Effect>) {
-        let was_empty = self.free.is_empty();
+        let was_empty = self.free_len == 0;
         let b = &mut self.bufs[id.0 as usize];
         assert!(!b.dead, "double release of {id:?}");
         assert!(b.flags.contains(BufFlags::BUSY), "release of unheld buffer");
@@ -609,12 +694,12 @@ impl Cache {
                     self.hash.remove(&key);
                 }
             }
-            self.free.push_front(id);
+            self.free_push_front(id);
         } else {
             b.splice = None;
-            self.free.push_back(id);
+            self.free_push_back(id);
         }
-        if was_empty && !self.free.is_empty() {
+        if was_empty && self.free_len > 0 {
             effects.push(Effect::BuffersAvailable);
         }
     }
@@ -698,13 +783,8 @@ impl Cache {
             }
             // Invalidate the stale cached copy (it is about to be
             // overwritten on disk by the splice).
-            let pos = self
-                .free
-                .iter()
-                .position(|&f| f == existing)
-                .expect("non-busy cached buffer must be on free list");
-            self.free.remove(pos);
-            self.free.push_front(existing);
+            self.free_unlink(existing, "non-busy cached buffer must be on free list");
+            self.free_push_front(existing);
             let b = &mut self.bufs[existing.0 as usize];
             b.dev = None;
             b.flags = BufFlags::empty();
@@ -724,6 +804,9 @@ impl Cache {
                 splice: None,
                 pool: false,
                 dead: true,
+                lru_prev: LRU_NIL,
+                lru_next: LRU_NIL,
+                on_free: false,
             });
             BufId((self.bufs.len() - 1) as u32)
         };
@@ -764,12 +847,7 @@ impl Cache {
             return false;
         }
         b.flags.insert(BufFlags::BUSY);
-        let pos = self
-            .free
-            .iter()
-            .position(|&f| f == id)
-            .expect("non-busy buffer must be on free list");
-        self.free.remove(pos);
+        self.free_unlink(id, "non-busy buffer must be on free list");
         true
     }
 
@@ -813,13 +891,8 @@ impl Cache {
             b.splice = None;
             self.hash.remove(&(dev, blkno));
             // Move to the head of the free list for quick reuse.
-            let pos = self
-                .free
-                .iter()
-                .position(|&f| f == id)
-                .expect("non-busy buffer must be on free list");
-            self.free.remove(pos);
-            self.free.push_front(id);
+            self.free_unlink(id, "non-busy buffer must be on free list");
+            self.free_push_front(id);
             purged += 1;
         }
         (purged, detached)
@@ -856,23 +929,33 @@ impl Cache {
     ///
     /// Panics (with a description) on the first violated invariant.
     pub fn check_invariants(&self) {
-        // Free list: unique, pool-only, not busy.
+        // Free list: unique, pool-only, not busy, links intact.
         let mut seen = std::collections::HashSet::new();
-        for &id in &self.free {
+        let mut cursor = self.lru_head;
+        let mut prev = LRU_NIL;
+        while cursor != LRU_NIL {
+            let id = BufId(cursor);
             assert!(seen.insert(id), "duplicate {id:?} on free list");
             let b = &self.bufs[id.0 as usize];
+            assert!(b.on_free, "linked {id:?} not marked on_free");
+            assert_eq!(b.lru_prev, prev, "broken lru_prev link at {id:?}");
             assert!(b.pool, "non-pool {id:?} on free list");
             assert!(!b.dead, "dead {id:?} on free list");
             assert!(
                 !b.flags.contains(BufFlags::BUSY),
                 "busy {id:?} on free list"
             );
+            prev = cursor;
+            cursor = b.lru_next;
         }
+        assert_eq!(self.lru_tail, prev, "lru_tail does not match list walk");
+        assert_eq!(self.free_len, seen.len(), "free_len does not match list");
         // Every live pool buffer is busy xor free.
         for i in 0..self.pool_size {
             let id = BufId(i as u32);
             let b = &self.bufs[i];
             let on_free = seen.contains(&id);
+            assert_eq!(b.on_free, on_free, "on_free flag mismatch for {id:?}");
             let busy = b.flags.contains(BufFlags::BUSY);
             assert!(
                 on_free != busy,

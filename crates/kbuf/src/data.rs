@@ -1,4 +1,4 @@
-//! Shared buffer data areas.
+//! Shared buffer data areas, recycled through a free-list arena.
 //!
 //! The key trick of the paper's write side (§5.2.2): "The data pointer in
 //! the new buffer header is saved and altered to point to the same address
@@ -9,17 +9,100 @@
 //! interior-mutable byte area. Sharing is observable (`shares_with`), which
 //! lets tests assert that a splice moved data without a cache-to-cache copy
 //! while a read/write copy did not.
+//!
+//! # Arena
+//!
+//! Steady-state splice traffic retires one data area and allocates one
+//! fresh one per spliced block (the destination header keeps aliasing the
+//! source's area, so `getblk` must give the source a new one). Rather than
+//! hitting the allocator each time, dead areas — last reference dropped —
+//! are parked on a thread-local free list keyed by block size, and
+//! [`BufData::zeroed`] re-zeroes and reuses a parked area of the same size
+//! when one exists. The simulation is single-threaded by design, so a
+//! thread-local pool is exact; recycling is capped per size class so the
+//! arena cannot outgrow the working set. Observable behaviour (zeroed
+//! contents, sharing, lengths) is identical to plain allocation — the
+//! differential property suite in `tests/props.rs` pins that.
 
 use std::cell::{Ref, RefCell, RefMut};
+use std::collections::HashMap;
 use std::rc::Rc;
 
+/// Smallest data area worth pooling: tiny and empty areas (dead headers,
+/// odd-sized device scratch) go straight to the allocator.
+const POOL_MIN_LEN: usize = 512;
+/// Parked areas retained per size class; beyond this, dead areas are freed.
+const POOL_CAP_PER_CLASS: usize = 1024;
+
+#[derive(Default)]
+struct Pool {
+    classes: HashMap<usize, Vec<Rc<RefCell<Vec<u8>>>>>,
+    reused: u64,
+    recycled: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// `(reused, recycled)` counters for this thread's arena: areas handed back
+/// out by [`BufData::zeroed`], and dead areas parked for reuse. Test hook.
+pub fn pool_counters() -> (u64, u64) {
+    POOL.with(|p| {
+        let p = p.borrow();
+        (p.reused, p.recycled)
+    })
+}
+
 /// A reference-counted byte area used as a buffer's data pointer.
-#[derive(Clone)]
 pub struct BufData(Rc<RefCell<Vec<u8>>>);
 
+impl Clone for BufData {
+    fn clone(&self) -> Self {
+        BufData(Rc::clone(&self.0))
+    }
+}
+
+impl Drop for BufData {
+    fn drop(&mut self) {
+        // Last handle to a poolable area: park it for reuse instead of
+        // freeing. (`try_with` so thread teardown never panics.)
+        if Rc::strong_count(&self.0) != 1 {
+            return;
+        }
+        let len = self.0.borrow().len();
+        if len < POOL_MIN_LEN {
+            return;
+        }
+        let _ = POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            let class = p.classes.entry(len).or_default();
+            if class.len() < POOL_CAP_PER_CLASS {
+                class.push(Rc::clone(&self.0));
+                p.recycled += 1;
+            }
+        });
+    }
+}
+
 impl BufData {
-    /// Allocates a zeroed data area of `len` bytes.
+    /// Allocates a zeroed data area of `len` bytes, reusing a same-sized
+    /// area from the arena when one is parked there.
     pub fn zeroed(len: usize) -> Self {
+        if len >= POOL_MIN_LEN {
+            let parked = POOL.with(|p| {
+                let mut p = p.borrow_mut();
+                let area = p.classes.get_mut(&len).and_then(Vec::pop);
+                if area.is_some() {
+                    p.reused += 1;
+                }
+                area
+            });
+            if let Some(area) = parked {
+                area.borrow_mut().fill(0);
+                return BufData(area);
+            }
+        }
         BufData(Rc::new(RefCell::new(vec![0u8; len])))
     }
 
@@ -113,5 +196,43 @@ mod tests {
         d.fill_from(&[7, 8]);
         assert_eq!(*d.bytes(), vec![7, 8]);
         assert_eq!(d.to_vec(), vec![7, 8]);
+    }
+
+    #[test]
+    fn dead_areas_are_recycled_zeroed() {
+        let (reused0, _) = pool_counters();
+        let d = BufData::zeroed(8192);
+        d.bytes_mut()[17] = 0xAB;
+        drop(d);
+        // Same size class: must come back from the arena, re-zeroed.
+        let e = BufData::zeroed(8192);
+        let (reused1, _) = pool_counters();
+        assert!(reused1 > reused0, "dead 8 KB area was not reused");
+        assert_eq!(e.len(), 8192);
+        assert!(
+            e.bytes().iter().all(|&b| b == 0),
+            "recycled area not zeroed"
+        );
+    }
+
+    #[test]
+    fn shared_areas_are_not_recycled_while_alive() {
+        let a = BufData::zeroed(4096);
+        let b = a.clone();
+        drop(a);
+        // `b` still holds the area: a fresh zeroed(4096) must not alias it.
+        b.bytes_mut()[0] = 7;
+        let c = BufData::zeroed(4096);
+        assert!(!c.shares_with(&b));
+        assert_eq!(b.bytes()[0], 7);
+    }
+
+    #[test]
+    fn tiny_areas_bypass_the_pool() {
+        let (_, recycled0) = pool_counters();
+        drop(BufData::zeroed(0));
+        drop(BufData::zeroed(16));
+        let (_, recycled1) = pool_counters();
+        assert_eq!(recycled0, recycled1, "sub-{POOL_MIN_LEN}-byte area pooled");
     }
 }

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
-use kbuf::{BreadOutcome, BufId, Cache, DevId, Effect, IoDir};
+use kbuf::{BreadOutcome, BufData, BufId, Cache, DevId, Effect, IoDir};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -48,8 +48,123 @@ impl FakeDevice {
     }
 }
 
+/// Operations on a set of live [`BufData`] areas, driven against a
+/// plain `Vec<u8>`-per-sharing-group model. The pooled implementation
+/// recycles dead areas through a thread-local arena, so this checks the
+/// arena never leaks stale bytes (`zeroed` really is zero), never
+/// recycles an area that still has sharers, and keeps sharing semantics
+/// identical to unpooled `Rc<RefCell<Vec<u8>>>`.
+#[derive(Clone, Debug)]
+enum DOp {
+    /// New zeroed area; lengths straddle the 512-byte pool threshold.
+    Zeroed(usize),
+    /// New area with patterned contents.
+    FromVec(usize, u8),
+    /// Clone of the n-th live area (modulo): shares the same bytes.
+    CloneOf(usize),
+    /// Drop the n-th live area (modulo); may recycle it into the pool.
+    Drop(usize),
+    /// Write one byte through the n-th live area.
+    Write(usize, usize, u8),
+    /// Replace the n-th live area's contents (resizes the area).
+    FillFrom(usize, usize, u8),
+}
+
+fn dop() -> impl Strategy<Value = DOp> {
+    let len = prop_oneof![Just(0usize), 1usize..64, 480usize..560, 8192usize..8200];
+    let len2 = prop_oneof![Just(0usize), 1usize..64, 480usize..560, 8192usize..8200];
+    prop_oneof![
+        3 => len.prop_map(DOp::Zeroed),
+        2 => (len2, any::<u8>()).prop_map(|(l, b)| DOp::FromVec(l, b)),
+        2 => any::<usize>().prop_map(DOp::CloneOf),
+        3 => any::<usize>().prop_map(DOp::Drop),
+        2 => (any::<usize>(), any::<usize>(), any::<u8>())
+            .prop_map(|(n, o, v)| DOp::Write(n, o, v)),
+        1 => (any::<usize>(), 0usize..1024, any::<u8>())
+            .prop_map(|(n, l, b)| DOp::FillFrom(n, l, b)),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pooled_buf_data_matches_plain_model(ops in prop::collection::vec(dop(), 1..120)) {
+        // Live areas: (handle, sharing-group id). The model holds each
+        // group's expected bytes.
+        let mut live: Vec<(BufData, usize)> = Vec::new();
+        let mut model: HashMap<usize, Vec<u8>> = HashMap::new();
+        let mut next_group = 0usize;
+
+        for op in ops {
+            match op {
+                DOp::Zeroed(len) => {
+                    live.push((BufData::zeroed(len), next_group));
+                    model.insert(next_group, vec![0u8; len]);
+                    next_group += 1;
+                }
+                DOp::FromVec(len, byte) => {
+                    let v: Vec<u8> = (0..len).map(|i| byte.wrapping_add(i as u8)).collect();
+                    live.push((BufData::from_vec(v.clone()), next_group));
+                    model.insert(next_group, v);
+                    next_group += 1;
+                }
+                DOp::CloneOf(n) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (bd, g) = &live[n % live.len()];
+                    live.push((bd.clone(), *g));
+                }
+                DOp::Drop(n) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (bd, g) = live.swap_remove(n % live.len());
+                    drop(bd);
+                    if !live.iter().any(|(_, lg)| *lg == g) {
+                        model.remove(&g);
+                    }
+                }
+                DOp::Write(n, off, val) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (bd, g) = &live[n % live.len()];
+                    if bd.is_empty() {
+                        continue;
+                    }
+                    let idx = off % bd.len();
+                    bd.bytes_mut()[idx] = val;
+                    model.get_mut(g).unwrap()[idx] = val;
+                }
+                DOp::FillFrom(n, len, byte) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (bd, g) = &live[n % live.len()];
+                    let src = vec![byte; len];
+                    bd.fill_from(&src);
+                    model.insert(*g, src);
+                }
+            }
+
+            // Every live handle sees exactly its group's bytes — writes
+            // through one sharer are visible to all, recycled areas are
+            // fully zeroed, and no area aliases another group.
+            for (bd, g) in &live {
+                prop_assert_eq!(&bd.to_vec(), model.get(g).unwrap());
+            }
+            for i in 0..live.len() {
+                let (bi, gi) = &live[i];
+                let expect_sharers = live.iter().filter(|(_, g)| g == gi).count();
+                prop_assert_eq!(bi.sharers(), expect_sharers);
+                for (bj, gj) in live.iter().skip(i + 1) {
+                    prop_assert_eq!(bi.shares_with(bj), gi == gj);
+                }
+            }
+        }
+    }
 
     #[test]
     fn cache_invariants_hold_under_random_ops(ops in prop::collection::vec(op(), 1..120)) {

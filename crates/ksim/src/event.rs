@@ -4,15 +4,43 @@
 //! same instant fire in the order they were scheduled, which pins down the
 //! behaviour of tie-heavy workloads (e.g. several disk interrupts completing
 //! on the same clock edge) across runs and platforms.
+//!
+//! Payloads live in a slab indexed by [`EventId`] (slot plus generation
+//! tag), so [`EventQueue::cancel`] is an O(1) slab lookup — no hashing, no
+//! heap surgery. The heap holds only `(time, seq, slot, generation)` keys;
+//! entries whose slot generation no longer matches are tombstones, skipped
+//! on pop. Tombstones are *bounded*: when they outnumber live entries the
+//! heap is compacted in place, so memory stays proportional to the live
+//! event count even under heavy schedule/cancel churn (retry backoff,
+//! itimer rearming), where the previous lazy-delete `BinaryHeap` +
+//! `HashSet` pair grew without bound until the dead keys happened to reach
+//! the top.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
 /// Handle to a scheduled event, usable to cancel it before it fires.
+///
+/// Packs a slab slot index and a generation tag; handles to already-fired
+/// or cancelled events are recognized as stale in O(1).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn new(slot: u32, generation: u32) -> Self {
+        EventId((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 #[derive(PartialEq, Eq)]
 struct Key {
@@ -32,27 +60,34 @@ impl PartialOrd for Key {
     }
 }
 
-struct Entry<E> {
+struct Entry {
     key: Key,
     id: EventId,
-    ev: E,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.key == other.key
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> Ord for Entry<E> {
+impl Eq for Entry {}
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.key.cmp(&other.key)
     }
 }
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
+}
+
+const NIL: u32 = u32::MAX;
+
+struct Slot<E> {
+    generation: u32,
+    next_free: u32,
+    payload: Option<E>,
 }
 
 /// A priority queue of future events plus the simulation clock.
@@ -60,13 +95,13 @@ impl<E> PartialOrd for Entry<E> {
 /// The clock (`now`) only advances when an event is popped; scheduling in
 /// the past is a harness bug and panics.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Ids of scheduled-but-not-yet-fired, not-cancelled events. Entries
-    /// whose id is absent are skipped lazily on pop/peek.
-    live: HashSet<EventId>,
+    heap: BinaryHeap<Reverse<Entry>>,
+    slots: Vec<Slot<E>>,
+    free_head: u32,
+    /// Scheduled-but-not-yet-fired, not-cancelled events.
+    live: usize,
     now: SimTime,
     next_seq: u64,
-    next_id: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -80,10 +115,11 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            slots: Vec::new(),
+            free_head: NIL,
+            live: 0,
             now: SimTime::ZERO,
             next_seq: 0,
-            next_id: 0,
         }
     }
 
@@ -103,15 +139,27 @@ impl<E> EventQueue<E> {
             "scheduling into the past: {at} < {}",
             self.now
         );
-        let id = EventId(self.next_id);
-        self.next_id += 1;
+        let slot = if self.free_head != NIL {
+            let slot = self.free_head;
+            self.free_head = self.slots[slot as usize].next_free;
+            self.slots[slot as usize].payload = Some(ev);
+            slot
+        } else {
+            assert!(self.slots.len() < NIL as usize, "event slab exhausted");
+            self.slots.push(Slot {
+                generation: 0,
+                next_free: NIL,
+                payload: Some(ev),
+            });
+            (self.slots.len() - 1) as u32
+        };
+        let id = EventId::new(slot, self.slots[slot as usize].generation);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.insert(id);
+        self.live += 1;
         self.heap.push(Reverse(Entry {
             key: Key { time: at, seq },
             id,
-            ev,
         }));
         id
     }
@@ -119,21 +167,35 @@ impl<E> EventQueue<E> {
     /// Cancels a scheduled event. Returns `true` if the event had not yet
     /// fired (or been cancelled); cancelling twice or after firing is a
     /// no-op returning `false`.
+    ///
+    /// O(1) amortized: the payload is dropped and the slot recycled
+    /// immediately; the heap key becomes a tombstone, reclaimed either on
+    /// pop or by compaction once tombstones outnumber live entries.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // Lazy deletion: the entry stays in the heap and is skipped on pop.
-        self.live.remove(&id)
+        if self.release(id).is_none() {
+            return false;
+        }
+        self.live -= 1;
+        // Bound tombstone memory: rebuild the heap once dead keys dominate.
+        if self.heap.len() > 64 && self.heap.len() > 2 * self.live {
+            let slots = &self.slots;
+            self.heap.retain(|Reverse(entry)| {
+                slots[entry.id.slot()].generation == entry.id.generation()
+            });
+        }
+        true
     }
 
     /// Removes and returns the next event, advancing the clock to its time.
     /// Returns `None` when no live events remain.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if !self.live.remove(&entry.id) {
-                continue;
+            if let Some(ev) = self.release(entry.id) {
+                self.live -= 1;
+                debug_assert!(entry.key.time >= self.now);
+                self.now = entry.key.time;
+                return Some((entry.key.time, ev));
             }
-            debug_assert!(entry.key.time >= self.now);
-            self.now = entry.key.time;
-            return Some((entry.key.time, entry.ev));
         }
         None
     }
@@ -141,7 +203,8 @@ impl<E> EventQueue<E> {
     /// The firing time of the next live event, if any, without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(Reverse(entry)) = self.heap.peek() {
-            if !self.live.contains(&entry.id) {
+            let s = &self.slots[entry.id.slot()];
+            if s.generation != entry.id.generation() {
                 self.heap.pop();
                 continue;
             }
@@ -152,12 +215,37 @@ impl<E> EventQueue<E> {
 
     /// Number of live (not cancelled) events still queued.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Heap keys currently held, *including* cancelled-entry tombstones not
+    /// yet reclaimed. Compaction keeps this within a small constant factor
+    /// of [`EventQueue::len`]; exposed so tests can pin that bound.
+    pub fn queued_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// If `id` is live, takes its payload and frees the slot (bumping the
+    /// generation so outstanding handles and heap keys go stale).
+    fn release(&mut self, id: EventId) -> Option<E> {
+        let slot = id.slot();
+        if slot >= self.slots.len() {
+            return None;
+        }
+        let s = &mut self.slots[slot];
+        if s.generation != id.generation() {
+            return None;
+        }
+        let payload = s.payload.take()?;
+        s.generation = s.generation.wrapping_add(1);
+        s.next_free = self.free_head;
+        self.free_head = slot as u32;
+        Some(payload)
     }
 }
 
@@ -231,6 +319,18 @@ mod tests {
     }
 
     #[test]
+    fn stale_id_cannot_cancel_recycled_slot() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.pop();
+        // The freed slot is recycled for "b"; the stale handle must miss.
+        let b = q.schedule(t(2), "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b));
+    }
+
+    #[test]
     fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.schedule(t(1), "a");
@@ -248,5 +348,27 @@ mod tests {
         // Scheduling exactly at `now` is legal (zero-latency kernel work).
         q.schedule(t(1), 2);
         assert_eq!(q.pop(), Some((t(1), 2)));
+    }
+
+    #[test]
+    fn tombstones_stay_bounded_under_churn() {
+        // Satellite regression: the historical lazy-delete queue kept every
+        // cancelled key in the heap until it surfaced; a schedule/cancel
+        // retry loop with one long-lived sentinel grew the heap without
+        // bound. Compaction must keep heap keys within 2x live + slack.
+        let mut q = EventQueue::new();
+        q.schedule(t(1_000_000), u64::MAX);
+        for i in 0..100_000u64 {
+            let id = q.schedule(t(10 + i), i);
+            assert!(q.cancel(id));
+            assert!(
+                q.queued_len() <= 2 * q.len() + 64,
+                "heap grew to {} keys with only {} live events",
+                q.queued_len(),
+                q.len()
+            );
+        }
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(1_000_000), u64::MAX)));
     }
 }

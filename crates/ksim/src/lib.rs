@@ -26,11 +26,11 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use callout::{Callout, CalloutId};
+pub use callout::{BTreeCallout, Callout, CalloutId};
 pub use event::{EventId, EventQueue};
 pub use hist::Hist;
 pub use json::Json;
 pub use kstat::{FlowSample, HistSummary, Kstat, SpliceSpan, SpliceSpans, StageHists};
 pub use stats::Stats;
 pub use time::{Dur, SimTime};
-pub use trace::{BlockSpan, PhaseMark, Trace, TraceEvent, TraceQuery, TraceRecord};
+pub use trace::{BlockSpan, CounterId, PhaseMark, Trace, TraceEvent, TraceQuery, TraceRecord};

@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 
-use ksim::{Callout, Dur, EventQueue, SimTime};
+use ksim::{BTreeCallout, Callout, Dur, EventQueue, SimTime};
 
 #[derive(Clone, Debug)]
 enum QOp {
@@ -25,6 +25,41 @@ fn qop() -> impl Strategy<Value = QOp> {
         3 => (0u64..10_000).prop_map(QOp::Schedule),
         1 => any::<usize>().prop_map(QOp::Cancel),
         2 => Just(QOp::Pop),
+    ]
+}
+
+#[derive(Clone, Debug)]
+enum COp {
+    /// Schedule at now + delay ticks.
+    Schedule(u64),
+    /// Schedule at the head of the current tick.
+    ScheduleHead,
+    /// Cancel the n-th tracked handle (modulo), which may have fired.
+    Cancel(usize),
+    /// Advance the clock by this many ticks and expire.
+    Expire(u64),
+}
+
+fn cop() -> impl Strategy<Value = COp> {
+    // Delays and jumps deliberately straddle the wheel's level
+    // boundaries (64, 64^2, 64^3 ticks) and its 2^24-tick horizon.
+    let delay = prop_oneof![
+        Just(0u64),
+        1u64..64,
+        64u64..4096,
+        4096u64..262_144,
+        262_144u64..(1u64 << 25),
+    ];
+    let step = prop_oneof![
+        4 => 1u64..64,
+        3 => 64u64..5000,
+        1 => (1u64 << 20)..(1u64 << 21),
+    ];
+    prop_oneof![
+        4 => delay.prop_map(COp::Schedule),
+        1 => Just(COp::ScheduleHead),
+        2 => any::<usize>().prop_map(COp::Cancel),
+        3 => step.prop_map(COp::Expire),
     ]
 }
 
@@ -104,6 +139,54 @@ proptest! {
         want.sort_unstable();
         got.sort_unstable();
         prop_assert_eq!(want, got);
+    }
+
+    #[test]
+    fn wheel_agrees_with_btree_reference(ops in prop::collection::vec(cop(), 1..150)) {
+        let mut wheel = Callout::new();
+        let mut btree = BTreeCallout::new();
+        let mut tick = 0u64;
+        // Tracked handle pairs (ids are implementation-specific, so each
+        // logical entry carries one id per implementation).
+        let mut ids: Vec<(ksim::CalloutId, ksim::CalloutId)> = Vec::new();
+        let mut tag = 0u32;
+
+        for op in ops {
+            match op {
+                COp::Schedule(delay) => {
+                    ids.push((
+                        wheel.schedule(tick, delay, tag),
+                        btree.schedule(tick, delay, tag),
+                    ));
+                    tag += 1;
+                }
+                COp::ScheduleHead => {
+                    ids.push((
+                        wheel.schedule_head(tick, tag),
+                        btree.schedule_head(tick, tag),
+                    ));
+                    tag += 1;
+                }
+                COp::Cancel(n) => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    // May pick an already-fired handle: both sides must
+                    // then report the stale id as a no-op.
+                    let (wi, bi) = ids.swap_remove(n % ids.len());
+                    prop_assert_eq!(wheel.cancel(wi), btree.cancel(bi));
+                }
+                COp::Expire(step) => {
+                    tick += step;
+                    // Same payloads in the same order, including the
+                    // head-before-tail rule and catch-up over skipped
+                    // ticks.
+                    prop_assert_eq!(wheel.expire(tick), btree.expire(tick));
+                }
+            }
+            prop_assert_eq!(wheel.len(), btree.len());
+            prop_assert_eq!(wheel.next_due_tick(), btree.next_due_tick());
+        }
     }
 
     #[test]

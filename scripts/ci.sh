@@ -66,6 +66,25 @@ rm -f TRACE_scp_ram.json
 cargo run --release -p bench --bin tracedump -- scp_ram
 test -s TRACE_scp_ram.json
 
+echo "== property suites (differential models, props feature) =="
+cargo test -q -p ksim --features props --test props
+cargo test -q -p kbuf --features props --test props
+
+echo "== simspeed smoke run =="
+rm -f BENCH_simspeed.json
+cargo run --release -p bench --bin simspeed
+test -s BENCH_simspeed.json
+
+echo "== determinism gate: two seeded runs must emit identical trace bytes =="
+cargo run --release -p bench --bin tracedump -- scp_ram
+TRACE_A=$(mktemp)
+mv TRACE_scp_ram.json "$TRACE_A"
+cargo run --release -p bench --bin tracedump -- scp_ram
+cmp "$TRACE_A" TRACE_scp_ram.json ||
+    { echo "determinism gate FAILED: TRACE_scp_ram.json differs between identical seeded runs"; exit 1; }
+rm -f "$TRACE_A"
+echo "-- trace bytes identical across runs"
+
 echo "== profiler smoke run =="
 rm -f BENCH_profile.json TS_scp_ram.json TS_spool.json TS_movie.json
 cargo run --release -p bench --bin profile
@@ -156,6 +175,28 @@ assert 0.95 <= ratio <= 1.05, ratio
 assert abs(ratio - ring[0]["copier_cpu_s"] / legacy["copier_cpu_s"]) < 1e-9, ratio
 print("BENCH_ring.json: ok (%d rows, depth-1/legacy cpu ratio %.3f)"
       % (len(rows), ratio))
+
+# The simulator-speed table: the three pinned loops plus the recorded
+# pre-refactor baseline. The one hard gate is the timing wheel's live
+# speedup over the retained BTreeMap reference — both are measured on
+# this host in the same process, so the ratio is machine-independent.
+doc = json.load(open("BENCH_simspeed.json"))
+assert doc["table"] == "simspeed", doc.get("table")
+rows = {r["bench"]: r for r in doc["rows"]}
+assert set(rows) == {"callout_churn", "event_churn", "scp_ram_e2e"}, set(rows)
+co = rows["callout_churn"]
+assert co["ops_per_sec"] > 0 and co["reference_ops_per_sec"] > 0, co
+assert co["speedup_vs_btree"] >= 10, co["speedup_vs_btree"]
+assert rows["event_churn"]["ops_per_sec"] > 0, rows["event_churn"]
+e2e = rows["scp_ram_e2e"]
+assert e2e["blocks_per_sec"] > 0, e2e
+assert e2e["blocks"] == e2e["runs"] * e2e["file_bytes"] / 8192, e2e
+base = doc["meta"]["baseline"]
+for key in ("commit", "callout_churn_ops_per_sec",
+            "event_churn_ops_per_sec", "scp_ram_blocks_per_sec"):
+    assert key in base, key
+print("BENCH_simspeed.json: ok (wheel %.0fx over btree reference)"
+      % co["speedup_vs_btree"])
 
 # The Chrome trace export: structurally valid and per-track monotone,
 # i.e. exactly what Perfetto / chrome://tracing require to load it.
