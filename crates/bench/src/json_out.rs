@@ -9,11 +9,34 @@
 
 use ksim::Json;
 
-/// Document skeleton: `{"table": <name>, …}`. Every `BENCH_*.json`
-/// artifact starts with this tag so downstream consumers can dispatch
-/// on the producer without parsing the filename.
+/// Version of the shared artifact envelope. Bump whenever the meaning
+/// or structure of an emitted document changes incompatibly:
+/// `benchdiff` refuses to compare documents across versions, so a bump
+/// forces baselines to be regenerated instead of silently mis-diffed.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Document skeleton: `{"schema_version": N, "table": <name>, …}`.
+/// Every `BENCH_*`/`REPORT_*` artifact starts with this envelope so
+/// downstream consumers (ci.sh, `benchdiff`) can dispatch on the
+/// producer and validate the version without parsing the filename.
 pub fn bench_doc(table: &str) -> Json {
-    Json::obj().with("table", Json::Str(table.into()))
+    Json::obj()
+        .with("schema_version", Json::Num(SCHEMA_VERSION as f64))
+        .with("table", Json::Str(table.into()))
+}
+
+/// The workload/seed meta block shared by samplers and reports:
+/// `{"workload": name, "seeds": [...], "expected_bytes": N}`. Keeping
+/// the provenance inside the artifact lets a reader reproduce the run
+/// without consulting the emitting binary's source.
+pub fn workload_meta(workload: &str, seeds: &[u64], expected_bytes: u64) -> Json {
+    Json::obj()
+        .with("workload", Json::Str(workload.into()))
+        .with(
+            "seeds",
+            Json::Arr(seeds.iter().map(|&s| Json::Num(s as f64)).collect()),
+        )
+        .with("expected_bytes", Json::Num(expected_bytes as f64))
 }
 
 /// Projects a slice through a `to_json`-style closure into a JSON

@@ -22,7 +22,9 @@ pub mod json_out;
 pub mod simspeed;
 pub mod workloads;
 
-pub use json_out::{bench_doc, json_rows, write_bench_json, write_table};
+pub use json_out::{
+    bench_doc, json_rows, workload_meta, write_bench_json, write_table, SCHEMA_VERSION,
+};
 
 use khw::DiskProfile;
 use kproc::programs::{Cp, CpuBound, Scp, ScpMode};
@@ -235,8 +237,13 @@ pub fn throughput(exp: &Experiment, method: Method) -> ThroughputResult {
         );
         println!("{}", snapshot.to_json().render_pretty());
         for d in k.disks() {
-            if let splice::DiskUnitKind::Scsi(disk) = &d.kind {
-                println!("  disk {}: {:?}", d.name, disk.stats());
+            if !d.kind.is_ram() {
+                println!(
+                    "  disk {}: requests={} busy={:?}",
+                    d.name,
+                    d.kind.requests(),
+                    d.kind.busy_time()
+                );
             }
         }
         println!("  cache: {:?}", k.cache().stats());

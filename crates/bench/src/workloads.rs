@@ -7,7 +7,7 @@
 
 use kdev::{AudioDac, VideoDac};
 use khw::DiskProfile;
-use kproc::programs::{EndSpec, EndpointPair, MoviePlayer, Scp, UdpSource};
+use kproc::programs::{EndSpec, EndpointPair, MoviePlayer, RingScp, Scp, UdpSource};
 use kproc::{ProcState, SockAddr, SpliceLen, SyscallRet};
 use ksim::Dur;
 use splice::{Kernel, KernelBuilder};
@@ -16,7 +16,62 @@ use splice::{Kernel, KernelBuilder};
 const TRACE_CAP: usize = 1 << 20;
 
 /// The named workloads, in the order `tracedump` runs them by default.
-pub const ALL: &[&str] = &["scp_ram", "spool", "movie"];
+pub const ALL: &[&str] = &["scp_ram", "spool", "movie", "ring"];
+
+/// File pairs the `ring` workload copies in one batched wave set.
+const RING_PAIRS: usize = 256;
+/// Bytes per `ring` source file (one block each).
+const RING_FILE_BYTES: u64 = 8 * 1024;
+/// Submission depth of the `ring` workload's splice ring.
+const RING_DEPTH: u32 = 64;
+/// Base pattern seed for the `ring` workload (file `i` uses `base ^ i`).
+const RING_SEED: u64 = 0x51ce;
+
+/// Provenance of one workload: the pattern seeds it feeds to
+/// `setup_file`/sources and the bytes it is expected to move end to
+/// end. Serialized into every `REPORT_*`/`TS_*` consumer's meta block
+/// so an artifact documents its own inputs.
+pub struct WorkloadMeta {
+    /// Workload name, as in [`ALL`].
+    pub name: &'static str,
+    /// Pattern seeds, in setup order (the `ring` workload XORs the
+    /// pair index into its single base seed).
+    pub seeds: Vec<u64>,
+    /// Bytes the workload must move for its own checks to pass.
+    pub expected_bytes: u64,
+}
+
+/// The provenance block for workload `name`.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn meta(name: &str) -> WorkloadMeta {
+    match name {
+        "scp_ram" => WorkloadMeta {
+            name: "scp_ram",
+            seeds: vec![5],
+            expected_bytes: 1 << 20,
+        },
+        "spool" => WorkloadMeta {
+            name: "spool",
+            seeds: vec![11],
+            expected_bytes: 1 << 20,
+        },
+        "movie" => WorkloadMeta {
+            name: "movie",
+            seeds: vec![1, 2],
+            // Audio samples for 30 frames at 30 fps plus 30 video frames.
+            expected_bytes: 8_000 + 30 * 64 * 1024,
+        },
+        "ring" => WorkloadMeta {
+            name: "ring",
+            seeds: vec![RING_SEED],
+            expected_bytes: RING_PAIRS as u64 * RING_FILE_BYTES,
+        },
+        other => panic!("unknown workload `{other}` (known: {})", ALL.join(", ")),
+    }
+}
 
 /// Runs workload `name` to completion and returns the kernel (trace
 /// ring populated).
@@ -46,6 +101,7 @@ fn run_inner(name: &str, sample: Option<(Dur, usize)>) -> Kernel {
         "scp_ram" => scp_ram(sample),
         "spool" => spool(sample),
         "movie" => movie(sample),
+        "ring" => ring(sample),
         other => panic!("unknown workload `{other}` (known: {})", ALL.join(", ")),
     }
 }
@@ -152,5 +208,34 @@ fn movie(sample: Option<(Dur, usize)>) -> Kernel {
         matches!(k.procs().must(pid).state, ProcState::Exited(0)),
         "movie: player failed"
     );
+    k
+}
+
+/// Batched ring submission: 256 one-block file→file copies moved
+/// through a depth-64 splice ring in submit/reap waves — the workload
+/// that exercises the `sqe_wait` stage and ring tracepoints.
+fn ring(sample: Option<(Dur, usize)>) -> Kernel {
+    let b = KernelBuilder::paper_machine_ram().trace(TRACE_CAP);
+    let mut k = maybe_sample(b, sample).build();
+    for i in 0..RING_PAIRS {
+        k.setup_file(&format!("/d0/f{i}"), RING_FILE_BYTES, RING_SEED ^ i as u64);
+    }
+    k.cold_cache();
+    let pid = k.spawn(Box::new(RingScp::new(
+        "/d0/f", "/d1/c", RING_PAIRS, RING_DEPTH,
+    )));
+    let horizon = k.horizon(3600);
+    k.run_to_exit(horizon);
+    assert!(
+        matches!(k.procs().must(pid).state, ProcState::Exited(0)),
+        "ring: copier failed"
+    );
+    for i in 0..RING_PAIRS {
+        assert_eq!(
+            k.verify_pattern_file(&format!("/d1/c{i}"), RING_FILE_BYTES, RING_SEED ^ i as u64),
+            None,
+            "ring: copy {i} corrupted"
+        );
+    }
     k
 }

@@ -94,3 +94,25 @@ fn spool_trace_is_complete() {
 fn movie_trace_is_complete() {
     check_workload("movie");
 }
+
+#[test]
+fn ring_trace_is_complete() {
+    let k = check_workload("ring");
+    // 256 one-block file pairs: one span per pair, each on its own
+    // splice descriptor.
+    let spans = k.trace().query().all_block_spans();
+    assert_eq!(spans.len(), 256, "expected one span per copied pair");
+    let mut descs: Vec<u64> = spans.iter().map(|s| s.desc).collect();
+    descs.sort_unstable();
+    descs.dedup();
+    assert_eq!(descs.len(), 256, "expected one descriptor per pair");
+    // The batched path must surface its submission-queue wait: one
+    // sqe_wait sample and tracepoint per admitted SQE.
+    assert_eq!(
+        k.trace().query().named("ring.sqe_wait").len(),
+        256,
+        "one ring.sqe_wait event per submitted SQE"
+    );
+    assert_eq!(k.kstat().stages.sqe_wait.count(), 256);
+    assert!(k.kstat().stages.sqe_wait.min().unwrap() > 0);
+}

@@ -9,6 +9,7 @@ use kfs::{Fs, Ino};
 use khw::{Disk, RamDisk, SparseStore};
 use knet::SockId;
 use kproc::{Fd, Pid};
+use ksim::{Dur, Hist};
 
 /// Index into the system open-file table.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -42,6 +43,44 @@ impl DiskUnitKind {
     /// True for the RAM disk (synchronous, CPU-copied transfers).
     pub fn is_ram(&self) -> bool {
         matches!(self, DiskUnitKind::Ram(_))
+    }
+
+    /// Total time this device spent servicing requests. This is the
+    /// **one** busy-time accounting source: the profiler snapshot, the
+    /// sampler gauges, and every bench/analysis export must read it
+    /// through here so the utilization auditor compares one number
+    /// against the service digest, never two divergent recomputations.
+    pub fn busy_time(&self) -> Dur {
+        match self {
+            DiskUnitKind::Scsi(d) => d.busy_time(),
+            DiskUnitKind::Ram(d) => d.busy_time(),
+        }
+    }
+
+    /// Requests completed by this device.
+    pub fn requests(&self) -> u64 {
+        match self {
+            DiskUnitKind::Scsi(d) => d.stats().requests,
+            DiskUnitKind::Ram(d) => d.stats().requests,
+        }
+    }
+
+    /// Requests currently queued or in flight. The RAM disk transfers
+    /// synchronously in the caller's context, so its queue is always
+    /// empty by construction.
+    pub fn queue_depth(&self) -> u64 {
+        match self {
+            DiskUnitKind::Scsi(d) => d.queue_depth() as u64,
+            DiskUnitKind::Ram(_) => 0,
+        }
+    }
+
+    /// Per-request service-time histogram (nanoseconds).
+    pub fn service_hist(&self) -> &Hist {
+        match self {
+            DiskUnitKind::Scsi(d) => d.service_hist(),
+            DiskUnitKind::Ram(d) => d.service_hist(),
+        }
     }
 }
 

@@ -31,7 +31,6 @@ use ksim::{CounterId, Dur, HistSummary, Json, SimTime, StageHists, Trace, TraceE
 
 use crate::event::KWork;
 use crate::kernel::Kernel;
-use crate::objects::DiskUnitKind;
 
 /// Per-process CPU accounting, read from the process table.
 #[derive(Clone, Debug)]
@@ -341,14 +340,7 @@ impl Kernel {
             inflight_reads += d.pending_reads as u64;
             inflight_writes += d.pending_writes as u64;
         }
-        let disk_queues: Vec<u64> = self
-            .disks
-            .iter()
-            .map(|d| match &d.kind {
-                DiskUnitKind::Scsi(disk) => disk.queue_depth() as u64,
-                DiskUnitKind::Ram(_) => 0,
-            })
-            .collect();
+        let disk_queues: Vec<u64> = self.disks.iter().map(|d| d.kind.queue_depth()).collect();
         let cache_resident = self.cache.resident_count() as u64;
         let cache_dirty = self.cache.dirty_count() as u64;
         let wall = now.since(s.last_at);
@@ -451,21 +443,12 @@ impl Kernel {
             devices: self
                 .disks
                 .iter()
-                .map(|d| match &d.kind {
-                    DiskUnitKind::Scsi(disk) => DeviceProfile {
-                        name: d.name.clone(),
-                        busy_time: disk.busy_time(),
-                        requests: disk.stats().requests,
-                        queue_depth: disk.queue_depth() as u64,
-                        service: HistSummary::from(disk.service_hist()),
-                    },
-                    DiskUnitKind::Ram(rd) => DeviceProfile {
-                        name: d.name.clone(),
-                        busy_time: rd.busy_time(),
-                        requests: rd.stats().requests,
-                        queue_depth: 0,
-                        service: HistSummary::from(rd.service_hist()),
-                    },
+                .map(|d| DeviceProfile {
+                    name: d.name.clone(),
+                    busy_time: d.kind.busy_time(),
+                    requests: d.kind.requests(),
+                    queue_depth: d.kind.queue_depth(),
+                    service: HistSummary::from(d.kind.service_hist()),
                 })
                 .collect(),
             cache: CacheOccupancy {

@@ -268,8 +268,19 @@ impl Kernel {
         }
         let accepted = sqes.len().min(room);
         let mut cpu = m.syscall;
+        let now = self.q.now();
         for sqe in sqes.into_iter().take(accepted) {
             cpu += m.ring_submit_entry;
+            // SQE admission wait: the simulated clock does not advance
+            // inside one crossing, so the admission→dispatch gap is the
+            // *virtual* CPU offset accumulated so far — entry 0 waits
+            // only the syscall + its own admission charge, later entries
+            // additionally wait behind every earlier entry's admission
+            // and launch work.
+            let wait_ns = cpu.as_ns();
+            self.kstat.stages.sqe_wait.record(wait_ns);
+            self.trace
+                .emit(now, || TraceEvent::RingSqeWait { ring, wait_ns });
             let route = RingRoute {
                 ring,
                 user_data: Some(sqe.user_data),
@@ -326,7 +337,6 @@ impl Kernel {
                 }
             }
         }
-        let now = self.q.now();
         self.trace.emit(now, || TraceEvent::RingSubmit {
             ring,
             entries: accepted as u32,

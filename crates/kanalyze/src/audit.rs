@@ -1,0 +1,392 @@
+//! Queueing-law auditors: the recorded telemetry cross-validated
+//! against itself.
+//!
+//! Each auditor compares two numbers the simulator records through
+//! *independent* bookkeeping paths, with a stated tolerance. When an
+//! auditor fails, one of the two recorders is wrong — the laws
+//! themselves hold in any work-conserving system — so a failure is an
+//! accounting bug surfaced loudly, not a performance regression.
+//!
+//! - **Little's law** (`L = λW`): the time-averaged number of blocks in
+//!   a pipeline stage, measured directly by the callout-driven gauge
+//!   sampler, must equal the total stage time from the per-stage
+//!   histograms divided by the observation window. Gauges sample at
+//!   tick boundaries while stage work starts and ends mid-tick, so the
+//!   tolerance carries an absolute occupancy floor below which the
+//!   comparison is vacuous.
+//! - **Utilization law** (`U = X·S`): a device's busy time, accumulated
+//!   request-by-request at the device model, must equal the sum of its
+//!   service-time histogram — two paths through `khw` that can only
+//!   diverge if one forgets a request.
+//! - **Byte conservation**: exact — every descriptor's span byte count,
+//!   its engine outcome, and the workload's expected total must agree
+//!   to the byte, and blocks cannot complete more often than they were
+//!   read or written.
+
+use ksim::Json;
+
+/// Tolerance for one audit comparison: pass when
+/// `|measured − predicted| ≤ max(abs, rel × |predicted|)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerance {
+    /// Relative bound on the deviation.
+    pub rel: f64,
+    /// Absolute floor, in the quantity's native unit (occupancy for
+    /// Little's law, nanoseconds for the utilization law, bytes for
+    /// conservation).
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// The exactness tolerance (zero slack).
+    pub const EXACT: Tolerance = Tolerance { rel: 0.0, abs: 0.0 };
+
+    fn allows(&self, measured: f64, predicted: f64) -> bool {
+        (measured - predicted).abs() <= self.abs.max(self.rel * predicted.abs())
+    }
+}
+
+/// The verdict of one auditor run.
+#[derive(Clone, Debug)]
+pub struct AuditOutcome {
+    /// Which law was checked, e.g. `little.read` or `utilization.d0`.
+    pub law: String,
+    /// The directly measured side of the comparison.
+    pub measured: f64,
+    /// The side predicted from the other recorder via the law.
+    pub predicted: f64,
+    /// The tolerance the comparison was judged against.
+    pub tolerance: Tolerance,
+    /// True when the deviation is within tolerance.
+    pub pass: bool,
+    /// Human-readable context (units, inputs).
+    pub detail: String,
+}
+
+impl AuditOutcome {
+    fn judge(law: String, measured: f64, predicted: f64, tol: Tolerance, detail: String) -> Self {
+        AuditOutcome {
+            pass: tol.allows(measured, predicted),
+            law,
+            measured,
+            predicted,
+            tolerance: tol,
+            detail,
+        }
+    }
+
+    /// Serializes the outcome for `REPORT_*.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("law", Json::Str(self.law.clone()))
+            .with("measured", Json::Num(self.measured))
+            .with("predicted", Json::Num(self.predicted))
+            .with(
+                "tolerance",
+                Json::obj()
+                    .with("rel", Json::Num(self.tolerance.rel))
+                    .with("abs", Json::Num(self.tolerance.abs)),
+            )
+            .with("pass", Json::Bool(self.pass))
+            .with("detail", Json::Str(self.detail.clone()))
+    }
+}
+
+/// A bundle of audit outcomes with an overall verdict.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// The individual law checks, in the order they ran.
+    pub outcomes: Vec<AuditOutcome>,
+}
+
+impl AuditReport {
+    /// True when every outcome passed.
+    pub fn pass(&self) -> bool {
+        self.outcomes.iter().all(|o| o.pass)
+    }
+
+    /// Serializes all outcomes plus the overall verdict.
+    pub fn to_json(&self) -> Json {
+        Json::obj().with("pass", Json::Bool(self.pass())).with(
+            "outcomes",
+            Json::Arr(self.outcomes.iter().map(AuditOutcome::to_json).collect()),
+        )
+    }
+
+    /// Renders one line per outcome for terminal output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for o in &self.outcomes {
+            let _ = writeln!(
+                out,
+                "  {:<24} measured {:>14.3}  predicted {:>14.3}  {}  ({})",
+                o.law,
+                o.measured,
+                o.predicted,
+                if o.pass { "PASS" } else { "FAIL" },
+                o.detail
+            );
+        }
+        out
+    }
+}
+
+/// Little's law: `mean_occupancy` (the time-weighted average of the
+/// sampler's gauge over the observation window) vs
+/// `total_stage_ns / window_ns` (Σ per-item stage time over the same
+/// window — `L = λW` with `λ = N/T` and `W = Σw/N`; the two are equal
+/// as time integrals by construction, so a deviation beyond sampling
+/// error means one recorder is wrong).
+///
+/// Sampling error is bounded per interval: with `n_samples` gauge
+/// readings over the window, an in-stage interval can be missed (or
+/// double-weighted at its edges) by at most one average sample
+/// spacing, so the comparison carries an occupancy slack of
+/// `intervals / n_samples` on top of `tol` — the stated resolution of
+/// a tick-driven gauge. Stages whose intervals are long relative to
+/// the sample spacing are audited tightly; sub-resolution stages
+/// degrade to a loose (but still one-recorder-catches-the-other)
+/// bound.
+pub fn littles_law(
+    label: &str,
+    mean_occupancy: f64,
+    total_stage_ns: u128,
+    intervals: u64,
+    n_samples: u64,
+    window_ns: u64,
+    tol: Tolerance,
+) -> AuditOutcome {
+    let predicted = if window_ns == 0 {
+        0.0
+    } else {
+        total_stage_ns as f64 / window_ns as f64
+    };
+    let slack = if n_samples == 0 {
+        f64::INFINITY
+    } else {
+        intervals as f64 / n_samples as f64
+    };
+    let effective = Tolerance {
+        rel: tol.rel,
+        abs: tol.abs.max(tol.rel * predicted.abs() + slack),
+    };
+    AuditOutcome::judge(
+        format!("little.{label}"),
+        mean_occupancy,
+        predicted,
+        effective,
+        format!(
+            "stage {total_stage_ns} ns over {window_ns} ns window, \
+             {intervals} intervals / {n_samples} samples (slack {slack:.2})"
+        ),
+    )
+}
+
+/// Per-device accounting inputs for the utilization law, extracted
+/// from the kernel by the caller so this crate stays `ksim`-only.
+#[derive(Clone, Debug)]
+pub struct DeviceAccounting {
+    /// Mount/device name.
+    pub name: String,
+    /// Busy time accumulated at the device model, ns.
+    pub busy_ns: u128,
+    /// Sum of the device's service-time histogram, ns.
+    pub service_sum_ns: u128,
+    /// Requests counted by the device's completion counter.
+    pub requests: u64,
+    /// Samples in the service-time histogram.
+    pub service_count: u64,
+}
+
+/// Utilization law: busy time vs service-time histogram sum (and the
+/// matching request counts), per device.
+pub fn utilization_law(dev: &DeviceAccounting, tol: Tolerance) -> AuditOutcome {
+    let mut o = AuditOutcome::judge(
+        format!("utilization.{}", dev.name),
+        dev.busy_ns as f64,
+        dev.service_sum_ns as f64,
+        tol,
+        format!(
+            "busy vs Σ service over {} requests / {} samples",
+            dev.requests, dev.service_count
+        ),
+    );
+    // The two recorders must also agree on *how many* requests they
+    // saw; equal sums over different counts would be a coincidence,
+    // not an account.
+    if dev.requests != dev.service_count {
+        o.pass = false;
+    }
+    o
+}
+
+/// Per-descriptor byte accounting, extracted by the caller from the
+/// kstat span table and the engine outcome table.
+#[derive(Clone, Copy, Debug)]
+pub struct DescBytes {
+    /// Splice descriptor id.
+    pub desc: u64,
+    /// Bytes the kstat span accumulated block-by-block.
+    pub span_bytes: u64,
+    /// Bytes the engine's final `SpliceOutcome` reported.
+    pub outcome_bytes: u64,
+    /// Blocks the span completed.
+    pub blocks_done: u64,
+    /// Reads the span issued.
+    pub reads_issued: u64,
+    /// Writes the span issued.
+    pub writes_issued: u64,
+}
+
+/// Byte conservation: every descriptor's two byte counters agree
+/// exactly, the total matches the workload's expected byte count, and
+/// no descriptor completed more blocks than it read or wrote.
+pub fn byte_conservation(descs: &[DescBytes], expected_total: u64) -> AuditOutcome {
+    let mut total: u64 = 0;
+    let mut bad = Vec::new();
+    for d in descs {
+        total += d.outcome_bytes;
+        if d.span_bytes != d.outcome_bytes {
+            bad.push(format!(
+                "desc {}: span {} ≠ outcome {}",
+                d.desc, d.span_bytes, d.outcome_bytes
+            ));
+        }
+        if d.reads_issued < d.blocks_done || d.writes_issued < d.blocks_done {
+            bad.push(format!(
+                "desc {}: {} blocks done from {} reads / {} writes",
+                d.desc, d.blocks_done, d.reads_issued, d.writes_issued
+            ));
+        }
+    }
+    let mut o = AuditOutcome::judge(
+        "byte_conservation".into(),
+        total as f64,
+        expected_total as f64,
+        Tolerance::EXACT,
+        if bad.is_empty() {
+            format!("{} descriptors, all span/outcome pairs exact", descs.len())
+        } else {
+            bad.join("; ")
+        },
+    );
+    if !bad.is_empty() {
+        o.pass = false;
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn littles_law_passes_on_consistent_inputs() {
+        // 4 blocks, each 250 µs in-stage, over a 1 ms window → L = 1.0,
+        // with plenty of samples so the resolution slack is small.
+        let o = littles_law(
+            "read",
+            1.0,
+            4 * 250_000,
+            4,
+            1000,
+            1_000_000,
+            Tolerance {
+                rel: 0.05,
+                abs: 0.0,
+            },
+        );
+        assert!(o.pass, "{o:?}");
+        assert!((o.predicted - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn littles_law_resolution_slack_forgives_sub_sample_intervals() {
+        // 8 intervals seen by only 4 samples: slack = 2 occupancy, so a
+        // gauge that saw nothing still passes against a prediction of
+        // 1.2 — the stage is below the gauge's stated resolution.
+        let tol = Tolerance { rel: 0.1, abs: 0.0 };
+        assert!(littles_law("read", 0.0, 1_200_000, 8, 4, 1_000_000, tol).pass);
+        // With dense sampling the same gap is a real divergence.
+        assert!(!littles_law("read", 0.0, 1_200_000, 8, 1000, 1_000_000, tol).pass);
+        // A gross overcount fails even with the slack.
+        assert!(!littles_law("read", 9.0, 1_200_000, 8, 4, 1_000_000, tol).pass);
+    }
+
+    #[test]
+    fn littles_law_without_samples_is_vacuous() {
+        let tol = Tolerance { rel: 0.1, abs: 0.0 };
+        assert!(littles_law("read", 0.0, 1_000_000, 8, 0, 1_000_000, tol).pass);
+    }
+
+    #[test]
+    fn utilization_law_catches_divergent_recorders() {
+        let tol = Tolerance {
+            rel: 0.01,
+            abs: 0.0,
+        };
+        let good = DeviceAccounting {
+            name: "d0".into(),
+            busy_ns: 5_000_000,
+            service_sum_ns: 5_000_000,
+            requests: 128,
+            service_count: 128,
+        };
+        assert!(utilization_law(&good, tol).pass);
+        let skewed = DeviceAccounting {
+            service_sum_ns: 5_200_000,
+            ..good.clone()
+        };
+        assert!(!utilization_law(&skewed, tol).pass);
+        let miscounted = DeviceAccounting {
+            service_count: 127,
+            ..good
+        };
+        assert!(!utilization_law(&miscounted, tol).pass, "count mismatch");
+    }
+
+    #[test]
+    fn byte_conservation_is_exact() {
+        let d = DescBytes {
+            desc: 1,
+            span_bytes: 1 << 20,
+            outcome_bytes: 1 << 20,
+            blocks_done: 128,
+            reads_issued: 128,
+            writes_issued: 128,
+        };
+        assert!(byte_conservation(&[d], 1 << 20).pass);
+        assert!(!byte_conservation(&[d], (1 << 20) + 1).pass, "off by one");
+        let torn = DescBytes {
+            outcome_bytes: (1 << 20) - 1,
+            ..d
+        };
+        assert!(!byte_conservation(&[torn], 1 << 20).pass);
+        let impossible = DescBytes {
+            reads_issued: 127,
+            ..d
+        };
+        assert!(!byte_conservation(&[impossible], 1 << 20).pass);
+    }
+
+    #[test]
+    fn report_aggregates_and_serializes() {
+        let mut r = AuditReport::default();
+        r.outcomes.push(littles_law(
+            "read",
+            1.0,
+            1_000_000,
+            1,
+            1000,
+            1_000_000,
+            Tolerance::EXACT,
+        ));
+        assert!(r.pass());
+        r.outcomes.push(byte_conservation(&[], 1));
+        assert!(!r.pass());
+        let j = r.to_json();
+        assert_eq!(j.get("pass").and_then(Json::as_f64), None); // bool, not num
+        assert!(r.render().contains("FAIL"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Cross-run bench regression gating: compare two bench JSON documents
+//! metric-by-metric under per-metric tolerance rules.
+//!
+//! Both documents are flattened into dotted metric paths
+//! (`rows[3].kb_per_s`) and compared pairwise:
+//!
+//! - **schema**: both documents must carry the same `schema_version`,
+//!   or the comparison refuses outright — a structural change must
+//!   regenerate baselines, not sneak past a value diff.
+//! - **integers** (numbers with no fractional part on both sides)
+//!   must match exactly — the simulator is deterministic, so a changed
+//!   count is a changed behavior.
+//! - **floats** must agree within a relative tolerance (default 2%).
+//! - **informational paths** (substring match, e.g. host wall-clock
+//!   throughput in the simspeed table) are reported but never fail.
+//! - **missing or extra paths** fail: a metric that disappears is as
+//!   suspicious as one that drifts.
+
+use ksim::Json;
+
+/// Comparison policy for [`compare`].
+#[derive(Clone, Debug)]
+pub struct DiffRules {
+    /// Relative tolerance for non-integral numbers.
+    pub float_rel: f64,
+    /// Path substrings whose drift is reported but never fatal (host
+    /// wall-clock metrics that legitimately vary run-to-run).
+    pub informational: Vec<String>,
+}
+
+impl Default for DiffRules {
+    fn default() -> Self {
+        DiffRules {
+            float_rel: 0.02,
+            informational: Vec::new(),
+        }
+    }
+}
+
+impl DiffRules {
+    fn is_informational(&self, path: &str) -> bool {
+        self.informational.iter().any(|p| path.contains(p))
+    }
+}
+
+/// How one metric path compared.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaStatus {
+    /// Within tolerance (or exactly equal).
+    Ok,
+    /// Outside tolerance — fails the gate.
+    Drift,
+    /// Outside tolerance on an informational path — reported only.
+    Info,
+    /// Present in the baseline, absent in the current document.
+    Missing,
+    /// Absent in the baseline, present in the current document.
+    Extra,
+}
+
+/// One compared metric path.
+#[derive(Clone, Debug)]
+pub struct DeltaRow {
+    /// Dotted path of the metric within the document.
+    pub path: String,
+    /// Baseline value rendered as JSON (`∅` when absent).
+    pub base: String,
+    /// Current value rendered as JSON (`∅` when absent).
+    pub cur: String,
+    /// Relative delta for numeric pairs, when defined.
+    pub delta: Option<f64>,
+    /// The verdict for this path.
+    pub status: DeltaStatus,
+}
+
+/// Outcome of one document comparison.
+#[derive(Clone, Debug)]
+pub struct DiffResult {
+    /// Every compared path, in path order (all statuses).
+    pub rows: Vec<DeltaRow>,
+    /// Human-readable failure reasons (offending metric + delta), in
+    /// path order; empty iff the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl DiffResult {
+    /// True when no path failed.
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn flatten<'a>(prefix: &str, v: &'a Json, out: &mut Vec<(String, &'a Json)>) {
+    match v {
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let p = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&p, v, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(&format!("{prefix}[{i}]"), v, out);
+            }
+        }
+        leaf => out.push((prefix.to_string(), leaf)),
+    }
+}
+
+fn render(v: Option<&Json>) -> String {
+    v.map_or_else(|| "∅".into(), Json::render)
+}
+
+/// Compares `current` against `baseline` under `rules`.
+///
+/// Returns an error string (no row-by-row result) when either document
+/// lacks `schema_version` or the versions differ — the caller must
+/// regenerate baselines rather than diff across schemas.
+pub fn compare(baseline: &Json, current: &Json, rules: &DiffRules) -> Result<DiffResult, String> {
+    let ver = |doc: &Json, which: &str| {
+        doc.get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{which} document has no schema_version"))
+    };
+    let (bv, cv) = (ver(baseline, "baseline")?, ver(current, "current")?);
+    if bv != cv {
+        return Err(format!(
+            "schema_version mismatch: baseline v{bv}, current v{cv} — regenerate baselines"
+        ));
+    }
+    let mut base = Vec::new();
+    let mut cur = Vec::new();
+    flatten("", baseline, &mut base);
+    flatten("", current, &mut cur);
+    let cur_map: std::collections::BTreeMap<&str, &Json> =
+        cur.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+    let base_map: std::collections::BTreeMap<&str, &Json> =
+        base.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for (path, bval) in &base {
+        match cur_map.get(path.as_str()) {
+            None => {
+                rows.push(DeltaRow {
+                    path: path.clone(),
+                    base: render(Some(bval)),
+                    cur: render(None),
+                    delta: None,
+                    status: DeltaStatus::Missing,
+                });
+                failures.push(format!("{path}: missing (baseline {})", render(Some(bval))));
+            }
+            Some(cval) => {
+                let row = judge(path, bval, cval, rules);
+                if row.status == DeltaStatus::Drift {
+                    failures.push(format!(
+                        "{path}: {} → {}{}",
+                        row.base,
+                        row.cur,
+                        row.delta
+                            .map_or(String::new(), |d| format!(" ({:+.2}%)", d * 100.0))
+                    ));
+                }
+                rows.push(row);
+            }
+        }
+    }
+    for (path, cval) in &cur {
+        if !base_map.contains_key(path.as_str()) {
+            rows.push(DeltaRow {
+                path: path.clone(),
+                base: render(None),
+                cur: render(Some(cval)),
+                delta: None,
+                status: DeltaStatus::Extra,
+            });
+            failures.push(format!(
+                "{path}: new metric (current {})",
+                render(Some(cval))
+            ));
+        }
+    }
+    Ok(DiffResult { rows, failures })
+}
+
+fn judge(path: &str, bval: &Json, cval: &Json, rules: &DiffRules) -> DeltaRow {
+    let (delta, within) = match (bval, cval) {
+        (Json::Num(b), Json::Num(c)) => {
+            let integral = b.fract() == 0.0 && c.fract() == 0.0;
+            let delta = if *b == 0.0 {
+                if *c == 0.0 {
+                    Some(0.0)
+                } else {
+                    None
+                }
+            } else {
+                Some((c - b) / b.abs())
+            };
+            let within = if integral {
+                b == c
+            } else {
+                match delta {
+                    Some(d) => d.abs() <= rules.float_rel,
+                    None => false,
+                }
+            };
+            (delta, within)
+        }
+        _ => (None, bval == cval),
+    };
+    let status = if within {
+        DeltaStatus::Ok
+    } else if rules.is_informational(path) {
+        DeltaStatus::Info
+    } else {
+        DeltaStatus::Drift
+    };
+    DeltaRow {
+        path: path.to_string(),
+        base: render(Some(bval)),
+        cur: render(Some(cval)),
+        delta,
+        status,
+    }
+}
+
+/// Renders the delta table for terminal output: one line per path that
+/// is not an exact within-tolerance match, or a one-line all-clear.
+pub fn render_table(result: &DiffResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let interesting: Vec<&DeltaRow> = result
+        .rows
+        .iter()
+        .filter(|r| r.status != DeltaStatus::Ok)
+        .collect();
+    if interesting.is_empty() {
+        let _ = writeln!(out, "  all {} metrics within tolerance", result.rows.len());
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "  {:<48} {:>16} {:>16} {:>9}  status",
+        "metric", "baseline", "current", "delta"
+    );
+    for r in interesting {
+        let _ = writeln!(
+            out,
+            "  {:<48} {:>16} {:>16} {:>9}  {}",
+            r.path,
+            r.base,
+            r.cur,
+            r.delta
+                .map_or_else(|| "-".into(), |d| format!("{:+.2}%", d * 100.0)),
+            match r.status {
+                DeltaStatus::Ok => "ok",
+                DeltaStatus::Drift => "DRIFT",
+                DeltaStatus::Info => "info",
+                DeltaStatus::Missing => "MISSING",
+                DeltaStatus::Extra => "EXTRA",
+            }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(ver: f64, kb: f64, blocks: f64, elapsed: f64) -> Json {
+        Json::obj()
+            .with("schema_version", Json::Num(ver))
+            .with("elapsed", Json::Num(elapsed))
+            .with(
+                "rows",
+                Json::Arr(vec![Json::obj()
+                    .with("kb_per_s", Json::Num(kb))
+                    .with("blocks", Json::Num(blocks))]),
+            )
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let base = doc(1.0, 1000.5, 128.0, 1.5);
+        let r = compare(&base, &base.clone(), &DiffRules::default()).unwrap();
+        assert!(r.pass(), "{:?}", r.failures);
+        assert!(render_table(&r).contains("within tolerance"));
+    }
+
+    #[test]
+    fn non_integral_schema_version_refuses() {
+        let base = doc(1.5, 1000.0, 128.0, 1.5);
+        assert!(compare(&base, &base.clone(), &DiffRules::default()).is_err());
+    }
+
+    #[test]
+    fn float_tolerance_and_integer_exactness() {
+        let base = doc(1.0, 1000.0, 128.0, 1.5);
+        // elapsed is fractional on both sides → relative band applies.
+        let near = doc(1.0, 1000.0, 128.0, 1.519);
+        let r = compare(&base, &near, &DiffRules::default()).unwrap();
+        assert!(r.pass(), "1.27% float drift within 2%: {:?}", r.failures);
+        let far = doc(1.0, 1000.0, 128.0, 1.6);
+        let r = compare(&base, &far, &DiffRules::default()).unwrap();
+        assert!(!r.pass(), "6.7% float drift must fail");
+        assert!(r.failures[0].contains("elapsed"), "{:?}", r.failures);
+        // blocks has no fraction on either side → compared exactly.
+        let off = doc(1.0, 1000.0, 129.0, 1.5);
+        let r = compare(&base, &off, &DiffRules::default()).unwrap();
+        assert!(!r.pass(), "integer drift of 1 must fail");
+        assert!(r.failures.iter().any(|f| f.contains("blocks")));
+    }
+
+    #[test]
+    fn informational_paths_report_but_never_fail() {
+        let base = doc(1.0, 1000.0, 128.0, 1.5);
+        let fast = doc(1.0, 4000.0, 128.0, 1.5);
+        let rules = DiffRules {
+            informational: vec!["kb_per_s".into()],
+            ..DiffRules::default()
+        };
+        let r = compare(&base, &fast, &rules).unwrap();
+        assert!(r.pass());
+        assert!(r.rows.iter().any(|x| x.status == DeltaStatus::Info));
+        assert!(render_table(&r).contains("info"));
+    }
+
+    #[test]
+    fn missing_and_extra_paths_fail() {
+        let base = doc(1.0, 1000.0, 128.0, 1.5);
+        let pruned = Json::obj()
+            .with("schema_version", Json::Num(1.0))
+            .with("elapsed", Json::Num(1.5))
+            .with(
+                "rows",
+                Json::Arr(vec![Json::obj().with("kb_per_s", Json::Num(1000.0))]),
+            )
+            .with("novel", Json::Num(7.0));
+        let r = compare(&base, &pruned, &DiffRules::default()).unwrap();
+        assert!(!r.pass());
+        let text = r.failures.join("\n");
+        assert!(text.contains("blocks") && text.contains("missing"));
+        assert!(text.contains("novel") && text.contains("new metric"));
+    }
+
+    #[test]
+    fn schema_version_mismatch_refuses() {
+        let base = doc(1.0, 1.0, 1.0, 1.0);
+        let next = doc(2.0, 1.0, 1.0, 1.0);
+        let err = compare(&base, &next, &DiffRules::default()).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+}

@@ -267,6 +267,95 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_percentiles_are_exact() {
+        // With one sample every percentile clamps to [min, max] = the
+        // sample itself, regardless of the bucket's upper bound.
+        for v in [0u64, 1, 2, 3, 4095, 4096, u64::MAX] {
+            let mut h = Hist::new();
+            h.record(v);
+            for p in [0.001, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                assert_eq!(h.percentile(p), Some(v), "p{p} of single {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_boundary_values_stay_in_range() {
+        // Powers of two sit on bucket lower edges; the raw bucket upper
+        // bound is 2v-1, so the [min, max] clamp is what keeps the
+        // estimate honest. All-equal samples must report exactly v.
+        for v in [1u64, 2, 8, 1 << 20, 1 << 62, 1 << 63] {
+            let mut h = Hist::new();
+            for _ in 0..10 {
+                h.record(v);
+            }
+            assert_eq!(h.p50(), Some(v));
+            assert_eq!(h.p999(), Some(v));
+        }
+        // Mixed boundary values: percentiles stay within the observed
+        // range and are monotone in p.
+        let mut h = Hist::new();
+        for v in [4u64, 8, 16, 32] {
+            h.record(v);
+        }
+        let (p50, p90, p99) = (h.p50().unwrap(), h.p90().unwrap(), h.p99().unwrap());
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!((4..=32).contains(&p50) && (4..=32).contains(&p99));
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range_p() {
+        let mut h = Hist::new();
+        h.record(7);
+        assert_eq!(h.percentile(-0.1), None);
+        assert_eq!(h.percentile(1.1), None);
+        assert_eq!(h.percentile(f64::NAN), None);
+    }
+
+    #[test]
+    fn saturated_value_merge_is_exact() {
+        // Top-bucket (u64::MAX) samples: sum must not wrap (u128
+        // accumulator), the top bucket's open upper bound must clamp to
+        // max, and merging saturated histograms stays exact.
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for _ in 0..3 {
+            a.record(u64::MAX);
+        }
+        b.record(u64::MAX);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 4 * (u64::MAX as u128) + 1);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(u64::MAX));
+        assert_eq!(a.p999(), Some(u64::MAX));
+        assert_eq!(a.buckets()[63], 4);
+    }
+
+    #[test]
+    fn high_count_merge_accumulates_without_distortion() {
+        // Bucket counts add linearly even at large magnitudes: merging
+        // a million-sample histogram into itself repeatedly keeps
+        // count/sum/percentiles consistent.
+        let mut base = Hist::new();
+        for v in 1..=1_000u64 {
+            for _ in 0..10 {
+                base.record(v);
+            }
+        }
+        let mut merged = base.clone();
+        for _ in 0..3 {
+            let snapshot = merged.clone();
+            merged.merge(&snapshot);
+        }
+        assert_eq!(merged.count(), base.count() * 8);
+        assert_eq!(merged.sum(), base.sum() * 8);
+        assert_eq!(merged.p50(), base.p50(), "percentiles scale-invariant");
+        assert_eq!(merged.p99(), base.p99());
+    }
+
+    #[test]
     fn to_json_has_quantile_keys() {
         let mut h = Hist::new();
         for v in 1..=100u64 {

@@ -230,6 +230,16 @@ pub enum TraceEvent {
         /// SQEs accepted in this crossing.
         entries: u32,
     },
+    /// An admitted SQE reached its `splice_begin` dispatch: `wait_ns`
+    /// is the virtual CPU offset it waited inside the submit crossing
+    /// (the clock does not advance within one crossing, so later batch
+    /// entries wait behind the admission work of earlier ones).
+    RingSqeWait {
+        /// Ring id.
+        ring: u64,
+        /// Virtual wait from crossing start to dispatch, nanoseconds.
+        wait_ns: u64,
+    },
     /// One `sys_ring_reap` crossing drained a batch of CQEs.
     RingReap {
         /// Ring id.
@@ -273,6 +283,7 @@ impl TraceEvent {
             TraceEvent::SpliceAbort { .. } => "splice.abort",
             TraceEvent::SpliceComplete { .. } => "splice.complete",
             TraceEvent::RingSubmit { .. } => "ring.submit",
+            TraceEvent::RingSqeWait { .. } => "ring.sqe_wait",
             TraceEvent::RingReap { .. } => "ring.reap",
         }
     }
@@ -389,6 +400,9 @@ impl TraceEvent {
                     .with("ring", num(ring))
                     .with("entries", num(entries as u64))
             }
+            TraceEvent::RingSqeWait { ring, wait_ns } => Json::obj()
+                .with("ring", num(ring))
+                .with("wait_ns", num(wait_ns)),
         }
     }
 }
@@ -445,6 +459,9 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::RingSubmit { ring, entries } | TraceEvent::RingReap { ring, entries } => {
                 write!(f, " ring={ring} entries={entries}")
+            }
+            TraceEvent::RingSqeWait { ring, wait_ns } => {
+                write!(f, " ring={ring} wait_ns={wait_ns}")
             }
         }
     }
@@ -1102,6 +1119,88 @@ mod tests {
             }
         }
         assert_eq!(blocks, 2, "one complete event per stitched block");
+    }
+
+    #[test]
+    fn wrapped_ring_yields_partial_spans_without_panic() {
+        // Capacity 6 holds only the newest 6 of 8 phase events: block 0
+        // loses its read_issue/read_done to the wrap. The span builder
+        // must degrade to a partial span, never panic.
+        let mut tr = Trace::new(6);
+        tr.set_enabled(true);
+        block_phases(&mut tr, 1, 0, 10);
+        block_phases(&mut tr, 1, 1, 20);
+        assert_eq!(tr.len(), 6, "ring wrapped");
+        let spans = tr.query().all_block_spans();
+        assert_eq!(spans.len(), 2);
+        let s0 = tr.query().span_of(1, 0).unwrap();
+        assert!(!s0.complete(), "truncated block span must be partial");
+        assert!(s0.read_issue.is_none() && s0.read_done.is_none());
+        assert!(s0.write_issue.is_some() && s0.write_done.is_some());
+        let s1 = tr.query().span_of(1, 1).unwrap();
+        assert!(s1.complete() && s1.ordered(), "untruncated span survives");
+    }
+
+    #[test]
+    fn wrapped_ring_chrome_export_skips_partial_spans() {
+        let mut tr = Trace::new(5);
+        tr.set_enabled(true);
+        block_phases(&mut tr, 7, 0, 0);
+        block_phases(&mut tr, 7, 1, 10);
+        let doc = tr.to_chrome_json();
+        let evs = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let blocks = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .count();
+        assert_eq!(blocks, 1, "only the fully-stitched block exports");
+    }
+
+    #[test]
+    fn truncated_tail_span_is_unordered_gap() {
+        // A span whose later phases were never emitted (run cut short):
+        // incomplete but *ordered* — the observed prefix is causal.
+        let mut tr = Trace::new(64);
+        tr.set_enabled(true);
+        tr.emit(SimTime::ZERO, || TraceEvent::SpliceReadIssue {
+            desc: 9,
+            lblk: 4,
+        });
+        tr.emit(SimTime::ZERO + Dur::from_us(1), || {
+            TraceEvent::SpliceReadDone { desc: 9, lblk: 4 }
+        });
+        let s = tr.query().span_of(9, 4).unwrap();
+        assert!(!s.complete());
+        assert!(s.ordered(), "a causal prefix is not a gap");
+
+        // Whereas a wrap that ate the *middle* phases leaves a gap.
+        let mut tr2 = Trace::new(64);
+        tr2.set_enabled(true);
+        tr2.emit(SimTime::ZERO, || TraceEvent::SpliceReadIssue {
+            desc: 9,
+            lblk: 5,
+        });
+        tr2.emit(SimTime::ZERO + Dur::from_us(3), || {
+            TraceEvent::SpliceWriteDone { desc: 9, lblk: 5 }
+        });
+        let s = tr2.query().span_of(9, 5).unwrap();
+        assert!(!s.ordered(), "missing middle phase before a later one");
+    }
+
+    #[test]
+    fn ring_sqe_wait_event_round_trips() {
+        let mut tr = Trace::new(8);
+        tr.set_enabled(true);
+        tr.emit(SimTime::ZERO, || TraceEvent::RingSqeWait {
+            ring: 3,
+            wait_ns: 41_000,
+        });
+        let recs = tr.query().named("ring.sqe_wait");
+        assert_eq!(recs.len(), 1);
+        assert!(tr.dump().contains("ring=3 wait_ns=41000"), "{}", tr.dump());
+        let doc = tr.to_chrome_json();
+        let parsed = Json::parse(&doc.render()).expect("chrome json parses");
+        assert_eq!(parsed, doc);
     }
 
     #[test]

@@ -86,10 +86,18 @@ rm -f "$TRACE_A"
 echo "-- trace bytes identical across runs"
 
 echo "== profiler smoke run =="
-rm -f BENCH_profile.json TS_scp_ram.json TS_spool.json TS_movie.json
+rm -f BENCH_profile.json TS_scp_ram.json TS_spool.json TS_movie.json TS_ring.json
 cargo run --release -p bench --bin profile
 test -s BENCH_profile.json
 test -s TS_scp_ram.json
+test -s TS_ring.json
+
+echo "== analysis engine: decomposition + queueing-law audits =="
+rm -f REPORT_scp_ram.json REPORT_spool.json REPORT_movie.json REPORT_ring.json
+cargo run --release -p bench --bin analyze
+for wl in scp_ram spool movie ring; do
+    test -s "REPORT_$wl.json"
+done
 
 # Parse the artifacts with the same in-tree parser the snapshot uses.
 cargo test -q --test observability snapshot_json_round_trips
@@ -220,15 +228,20 @@ print("TRACE_scp_ram.json: ok (%d events, %d tracks)" % (len(events), len(last))
 doc = json.load(open("BENCH_profile.json"))
 assert doc["table"] == "profile", doc.get("table")
 wls = {w["workload"]: w for w in doc["workloads"]}
-assert set(wls) == {"scp_ram", "spool", "movie"}, set(wls)
-for stage in ("read_queue_wait", "read_service", "read_to_write",
+assert set(wls) == {"scp_ram", "spool", "movie", "ring"}, set(wls)
+for stage in ("sqe_wait", "read_queue_wait", "read_service", "read_to_write",
               "write_service", "retry_backoff", "end_to_end"):
     dig = wls["scp_ram"]["stages"][stage]
     for key in ("count", "p50", "p90", "p99"):
         assert key in dig, (stage, key)
-    if stage != "retry_backoff":
+    # retry_backoff needs injected faults, sqe_wait the batched ring
+    # path — neither fires on the plain scp workload.
+    if stage not in ("retry_backoff", "sqe_wait"):
         assert dig["count"] > 0, (stage, dig)
         assert dig["p50"] <= dig["p90"] <= dig["p99"], (stage, dig)
+# The batched ring records one admission wait per submitted SQE.
+assert wls["ring"]["stages"]["sqe_wait"]["count"] == 256, \
+    wls["ring"]["stages"]["sqe_wait"]
 cont = doc["contention"]
 cp, scp = cont["cp"], cont["scp"]
 assert scp["test_cpu_share"] >= cp["test_cpu_share"], cont
@@ -246,6 +259,36 @@ for s in samples:
                 "cache_dirty", "cpu_share"):
         assert key in s, (key, s)
 print("TS_scp_ram.json: ok (%d samples, monotone)" % len(samples))
+
+# The analysis reports: shared schema envelope, a gap-free decomposition
+# whose non-informational components sum to the independently recorded
+# end-to-end latency within 1%, and all three queueing-law audits
+# passing within their stated tolerances.
+for wl in ("scp_ram", "spool", "movie", "ring"):
+    doc = json.load(open("REPORT_%s.json" % wl))
+    assert doc["schema_version"] == 1, doc.get("schema_version")
+    assert doc["meta"]["workload"] == wl, doc.get("meta")
+    assert doc["meta"]["expected_bytes"] > 0, doc["meta"]
+    d = doc["decomposition"]
+    assert d["blocks"] > 0 and d["partial_spans"] == 0, (wl, d)
+    cl = d["closure"]
+    assert cl["tolerance"] <= 0.01, (wl, cl)
+    assert cl["pass"] and cl["rel_error"] <= cl["tolerance"], (wl, cl)
+    comp = sum(r["total_ns"] for r in d["table"] if not r["informational"])
+    assert comp == cl["components_ns"], (wl, comp, cl)
+    laws = {a["law"] for a in doc["audits"]["outcomes"]}
+    assert {"little.inflight_reads", "little.inflight_writes",
+            "byte_conservation"} <= laws, (wl, laws)
+    assert any(l.startswith("utilization.") for l in laws), (wl, laws)
+    assert doc["audits"]["pass"], (wl, doc["audits"])
+    for a in doc["audits"]["outcomes"]:
+        assert a["pass"], (wl, a)
+    print("REPORT_%s.json: ok (dominant %s, closure %.4f%%, %d audits)"
+          % (wl, d["dominant"], cl["rel_error"] * 100,
+             len(doc["audits"]["outcomes"])))
 EOF
+
+echo "== bench regression gate: artifacts vs committed baselines =="
+cargo run --release -p bench --bin benchdiff
 
 echo "ci.sh: all green"
