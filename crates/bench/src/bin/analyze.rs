@@ -148,6 +148,7 @@ fn audit(k: &Kernel, expected_bytes: u64) -> AuditReport {
             },
             blocks_done: s.blocks_done,
             reads_issued: s.reads_issued,
+            read_hits: s.read_hits,
             writes_issued: s.writes_issued,
         })
         .collect();

@@ -7,16 +7,21 @@
 
 use kdev::{AudioDac, VideoDac};
 use khw::DiskProfile;
-use kproc::programs::{EndSpec, EndpointPair, MoviePlayer, RingScp, Scp, UdpSource};
+use knet::LinkModel;
+use kproc::programs::{
+    open_loop_delays, scenario_stats, EndSpec, EndpointPair, MoviePlayer, RingScp, Scp, ServeMode,
+    ServerClient, SpliceServer, UdpSource,
+};
 use kproc::{ProcState, SockAddr, SpliceLen, SyscallRet};
 use ksim::Dur;
 use splice::{Kernel, KernelBuilder};
+use std::rc::Rc;
 
 /// Trace-ring capacity for every workload: ample for the scenarios here.
 const TRACE_CAP: usize = 1 << 20;
 
 /// The named workloads, in the order `tracedump` runs them by default.
-pub const ALL: &[&str] = &["scp_ram", "spool", "movie", "ring"];
+pub const ALL: &[&str] = &["scp_ram", "spool", "movie", "ring", "server"];
 
 /// File pairs the `ring` workload copies in one batched wave set.
 const RING_PAIRS: usize = 256;
@@ -26,6 +31,19 @@ const RING_FILE_BYTES: u64 = 8 * 1024;
 const RING_DEPTH: u32 = 64;
 /// Base pattern seed for the `ring` workload (file `i` uses `base ^ i`).
 const RING_SEED: u64 = 0x51ce;
+
+/// Connections the `server` workload serves.
+const SERVER_CONNS: usize = 512;
+/// Bytes of the file every `server` connection fetches (one block).
+const SERVER_FILE_BYTES: u64 = 8 * 1024;
+/// Splice-ring depth (wave size) of the `server` workload.
+const SERVER_DEPTH: u32 = 64;
+/// Pattern + arrival + link seed of the `server` workload.
+const SERVER_SEED: u64 = 0x5e12;
+/// Listening port of the `server` workload.
+const SERVER_PORT: u16 = 80;
+/// Arrival window the `server` workload's clients spread over.
+const SERVER_WINDOW: Dur = Dur::from_ms(100);
 
 /// Provenance of one workload: the pattern seeds it feeds to
 /// `setup_file`/sources and the bytes it is expected to move end to
@@ -69,6 +87,11 @@ pub fn meta(name: &str) -> WorkloadMeta {
             seeds: vec![RING_SEED],
             expected_bytes: RING_PAIRS as u64 * RING_FILE_BYTES,
         },
+        "server" => WorkloadMeta {
+            name: "server",
+            seeds: vec![SERVER_SEED],
+            expected_bytes: SERVER_CONNS as u64 * SERVER_FILE_BYTES,
+        },
         other => panic!("unknown workload `{other}` (known: {})", ALL.join(", ")),
     }
 }
@@ -102,6 +125,7 @@ fn run_inner(name: &str, sample: Option<(Dur, usize)>) -> Kernel {
         "spool" => spool(sample),
         "movie" => movie(sample),
         "ring" => ring(sample),
+        "server" => server(sample),
         other => panic!("unknown workload `{other}` (known: {})", ALL.join(", ")),
     }
 }
@@ -237,5 +261,66 @@ fn ring(sample: Option<(Dur, usize)>) -> Kernel {
             "ring: copy {i} corrupted"
         );
     }
+    k
+}
+
+/// The connection-scale scenario: a splice-ring server fetches one
+/// 8 KB file to each of 512 open-loop clients over a lossless modeled
+/// link — the workload behind `bench --bin server`'s SLO sweep, at a
+/// tracedump-friendly size.
+fn server(sample: Option<(Dur, usize)>) -> Kernel {
+    let b = KernelBuilder::paper_machine_ram().trace(TRACE_CAP);
+    let mut k = maybe_sample(b, sample).build();
+    k.net_mut().set_link_model(
+        1,
+        LinkModel {
+            bps: 125_000_000,
+            base_latency: Dur::from_us(200),
+            jitter: Dur::from_us(100),
+            loss_ppm: 0,
+            seed: SERVER_SEED,
+        },
+    );
+    k.setup_file("/d0/file", SERVER_FILE_BYTES, SERVER_SEED);
+    k.cold_cache();
+    let stats = scenario_stats();
+    let pid = k.spawn(Box::new(SpliceServer::new(
+        SERVER_PORT,
+        "/d0/file",
+        SERVER_FILE_BYTES,
+        SERVER_CONNS,
+        SERVER_CONNS as u32,
+        ServeMode::Ring {
+            depth: SERVER_DEPTH,
+        },
+        Rc::clone(&stats),
+    )));
+    for delay in open_loop_delays(SERVER_CONNS, SERVER_WINDOW, SERVER_SEED) {
+        k.spawn(Box::new(ServerClient::new(
+            SockAddr {
+                host: 1,
+                port: SERVER_PORT,
+            },
+            SERVER_FILE_BYTES,
+            SERVER_SEED,
+            delay,
+            Rc::clone(&stats),
+        )));
+    }
+    let horizon = k.horizon(600);
+    k.run_to_exit(horizon);
+    assert!(
+        matches!(k.procs().must(pid).state, ProcState::Exited(0)),
+        "server: server failed"
+    );
+    let s = stats.borrow();
+    assert_eq!(s.completed, SERVER_CONNS as u64, "server: clients short");
+    assert_eq!(s.mismatches, 0, "server: corrupted delivery");
+    assert_eq!(
+        s.bytes_received,
+        SERVER_CONNS as u64 * SERVER_FILE_BYTES,
+        "server: byte shortfall"
+    );
+    drop(s);
     k
 }

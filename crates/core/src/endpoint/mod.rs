@@ -43,6 +43,8 @@ pub(crate) mod dev;
 pub(crate) mod file;
 pub(crate) mod sock;
 
+pub(crate) use sock::ParkedSend;
+
 /// What a spliceable object can do, decided purely by its class.
 ///
 /// The table is total: every `FileObj` maps to one row, and `sys_splice`

@@ -136,6 +136,15 @@ pub enum KWork {
         /// The arrived block (held buffer or owned chunk).
         src: Block,
     },
+    /// Socket-sink retry: the peer link's send buffer was full when the
+    /// block arrived; drain the per-host parked-send queue now that the
+    /// link should have room again (dispatched from the callout — one
+    /// drain in flight per host, however many payloads are parked, so
+    /// backpressure never turns into a retry herd).
+    SpliceSockDrain {
+        /// Destination host whose parked queue to drain.
+        host: u32,
+    },
     /// Finalisation: deliver `SIGIO` or wake the synchronous caller.
     SpliceComplete {
         /// Descriptor id.

@@ -115,6 +115,14 @@ pub struct Kernel {
     /// In-flight SCSI requests: (disk, token) → (buffer, direction).
     pub(crate) io_tokens: HashMap<(usize, u64), (BufId, IoDir)>,
     pub(crate) next_io_token: u64,
+    /// Splice payloads waiting for a destination host's link backlog to
+    /// drain below the send-buffer limit, FIFO per host. At most one
+    /// [`KWork::SpliceSockDrain`] callout is in flight per host (its
+    /// presence in `park_drains`), so a thousand parked connections cost
+    /// one timer, not a retry herd.
+    pub(crate) parked_sends: HashMap<u32, VecDeque<crate::endpoint::ParkedSend>>,
+    /// Hosts with a parked-queue drain callout already scheduled.
+    pub(crate) park_drains: std::collections::HashSet<u32>,
     /// [PCM91] baseline: kernel-held data handles.
     pub(crate) handles: HashMap<i64, Vec<u8>>,
     pub(crate) next_handle: i64,
@@ -170,6 +178,8 @@ impl Kernel {
             itimer_callouts: HashMap::new(),
             io_tokens: HashMap::new(),
             next_io_token: 1,
+            parked_sends: HashMap::new(),
+            park_drains: std::collections::HashSet::new(),
             handles: HashMap::new(),
             next_handle: 1,
             stats: Stats::new(),
@@ -242,6 +252,12 @@ impl Kernel {
     /// The network stack (stats in tests).
     pub fn net(&self) -> &Net {
         &self.net
+    }
+
+    /// Mutable network stack (scenario setup: link models, buffer
+    /// limits).
+    pub fn net_mut(&mut self) -> &mut Net {
+        &mut self.net
     }
 
     /// Mounted disks (stats/store access in tests and harnesses).
@@ -350,8 +366,8 @@ impl Kernel {
         if matches!(p.state, ProcState::Runnable | ProcState::Running) {
             return;
         }
-        p.state = ProcState::Runnable;
         let woken_cpu = p.recent_cpu;
+        self.procs.set_state(pid, ProcState::Runnable);
         let now = self.q.now();
         self.trace
             .emit(now, || TraceEvent::SchedWakeup { pid: pid.0 });
@@ -393,10 +409,10 @@ impl Kernel {
         p.acct.user_time = p.acct.user_time.saturating_sub(left_in_chunk);
         p.recent_cpu = p.recent_cpu.saturating_sub(left_in_chunk);
         p.acct.icsw += 1;
-        p.state = ProcState::Runnable;
         if !total.is_zero() {
             p.pending_compute = Some(total);
         }
+        self.procs.set_state(cur.pid, ProcState::Runnable);
         self.sched.enqueue(cur.pid);
         self.stats.bump("sched.preemptions");
         self.trace
@@ -714,7 +730,7 @@ impl Kernel {
             self.cpu.busy_until()
         };
         let gen = self.sched.start_run(pid, kind, start, dur, quantum_left);
-        self.procs.must_mut(pid).state = ProcState::Running;
+        self.procs.set_state(pid, ProcState::Running);
         self.q.schedule(start + dur, Event::UserDone { pid, gen });
     }
 
@@ -726,9 +742,8 @@ impl Kernel {
         if self.resched {
             self.resched = false;
             if self.sched.queued() > 0 {
-                let p = self.procs.must_mut(pid);
-                p.state = ProcState::Runnable;
-                p.acct.icsw += 1;
+                self.procs.must_mut(pid).acct.icsw += 1;
+                self.procs.set_state(pid, ProcState::Runnable);
                 self.sched.enqueue(pid);
                 self.try_dispatch();
                 return;
@@ -738,9 +753,8 @@ impl Kernel {
         // Quantum bookkeeping: refresh if nobody is waiting, else preempt.
         if quantum_left.is_zero() {
             if self.sched.queued() > 0 {
-                let p = self.procs.must_mut(pid);
-                p.state = ProcState::Runnable;
-                p.acct.icsw += 1;
+                self.procs.must_mut(pid).acct.icsw += 1;
+                self.procs.set_state(pid, ProcState::Runnable);
                 self.sched.enqueue(pid);
                 self.try_dispatch();
                 return;
@@ -842,9 +856,8 @@ impl Kernel {
         // Rings die with their owner; in-flight entries drain silently.
         self.ring_owner_exit(pid);
         let now = self.q.now();
-        let p = self.procs.must_mut(pid);
-        p.state = ProcState::Exited(code);
-        p.ended = Some(now);
+        self.procs.must_mut(pid).ended = Some(now);
+        self.procs.set_state(pid, ProcState::Exited(code));
         self.stats.bump("proc.exits");
         self.try_dispatch();
     }
@@ -869,9 +882,9 @@ impl Kernel {
                 // Quantum slice ended mid-compute.
                 if self.sched.queued() > 0 {
                     let p = self.procs.must_mut(pid);
-                    p.state = ProcState::Runnable;
                     p.acct.icsw += 1;
                     p.pending_compute = Some(remaining);
+                    self.procs.set_state(pid, ProcState::Runnable);
                     self.sched.enqueue(pid);
                     self.try_dispatch();
                 } else {
@@ -910,9 +923,8 @@ impl Kernel {
                             pid: pid.0,
                             chan: chan.id,
                         });
-                        let p = self.procs.must_mut(pid);
-                        p.state = ProcState::Sleeping(chan);
-                        p.acct.vcsw += 1;
+                        self.procs.must_mut(pid).acct.vcsw += 1;
+                        self.procs.set_state(pid, ProcState::Sleeping(chan));
                         // The block is itself the reschedule.
                         self.resched = false;
                         self.try_dispatch();
@@ -923,9 +935,11 @@ impl Kernel {
                         self.run_process(pid, run.quantum_left);
                     }
                     AfterCpu::SleepUntil { until, then } => {
-                        let p = self.procs.must_mut(pid);
-                        p.state = ProcState::Sleeping(Chan::new(ChanSpace::Dev, u64::MAX));
-                        p.acct.vcsw += 1;
+                        self.procs.must_mut(pid).acct.vcsw += 1;
+                        self.procs.set_state(
+                            pid,
+                            ProcState::Sleeping(Chan::new(ChanSpace::Dev, u64::MAX)),
+                        );
                         self.timed_actions.insert(pid, then);
                         let at = until.max(self.q.now());
                         self.q.schedule(at, Event::TimedWake { pid });
@@ -942,10 +956,7 @@ impl Kernel {
         // Priority decay (the schedcpu analogue): halve every quarter
         // second so recent hogs lose their wakeup-preemption edge.
         if self.tick.is_multiple_of((self.cfg.machine.hz / 4).max(1)) {
-            for pid in self.procs.iter().map(|p| p.pid).collect::<Vec<_>>() {
-                let p = self.procs.must_mut(pid);
-                p.recent_cpu = p.recent_cpu / 2;
-            }
+            self.procs.decay_recent_cpu();
         }
         let now = self.q.now();
         // Hardclock cost.
@@ -994,6 +1005,7 @@ impl Kernel {
             KWork::SpliceAppend { .. } => m.splice_handler + m.buf_op,
             KWork::SpliceDevWrite { .. } => m.splice_handler,
             KWork::SpliceSockWrite { .. } => m.splice_handler,
+            KWork::SpliceSockDrain { .. } => m.splice_handler,
             KWork::SpliceComplete { .. } => m.signal_delivery,
             KWork::ItimerFire { .. } => m.signal_delivery,
             KWork::Sample => m.buf_op,
@@ -1105,9 +1117,8 @@ impl Kernel {
                 self.conts.insert(pid, cont);
             }
         }
-        let p = self.procs.must_mut(pid);
-        if matches!(p.state, ProcState::Sleeping(_)) {
-            p.state = ProcState::Runnable;
+        if matches!(self.procs.must(pid).state, ProcState::Sleeping(_)) {
+            self.procs.set_state(pid, ProcState::Runnable);
             self.sched.enqueue(pid);
             self.try_dispatch();
         }
@@ -1206,7 +1217,7 @@ impl Kernel {
                     .get(pid)
                     .is_some_and(|p| p.state == ProcState::Runnable)
                 {
-                    self.procs.must_mut(pid).state = ProcState::Running;
+                    self.procs.set_state(pid, ProcState::Running);
                     self.run_process(pid, self.sched.quantum());
                 } else {
                     self.try_dispatch();

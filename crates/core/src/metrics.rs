@@ -180,8 +180,23 @@ pub struct NetMetrics {
     pub sent: u64,
     /// Datagrams delivered to a socket.
     pub delivered: u64,
-    /// Datagrams dropped in the network.
+    /// Datagrams dropped in the network (all buckets).
     pub dropped: u64,
+    /// Drops with no receiver (unbound destination or closed socket).
+    pub dropped_no_listener: u64,
+    /// Drops at a full receive buffer.
+    pub dropped_rcv_full: u64,
+    /// Connection requests refused by a full accept backlog.
+    pub dropped_backlog: u64,
+    /// Datagrams lost to the link model's loss draw.
+    pub lost_link: u64,
+    /// Sends bounced by send-buffer backpressure (retried, not lost).
+    pub snd_blocked: u64,
+    /// Delivered-but-unread datagrams thrown away when their socket
+    /// closed.
+    pub discarded_close: u64,
+    /// Connection sockets carved off listeners.
+    pub conns_opened: u64,
     /// Payload bytes delivered.
     pub bytes_delivered: u64,
     /// Datagrams dropped at a full receive queue.
@@ -295,6 +310,16 @@ impl MetricsSnapshot {
             .with("sent", Json::Num(n.sent as f64))
             .with("delivered", Json::Num(n.delivered as f64))
             .with("dropped", Json::Num(n.dropped as f64))
+            .with(
+                "dropped_no_listener",
+                Json::Num(n.dropped_no_listener as f64),
+            )
+            .with("dropped_rcv_full", Json::Num(n.dropped_rcv_full as f64))
+            .with("dropped_backlog", Json::Num(n.dropped_backlog as f64))
+            .with("lost_link", Json::Num(n.lost_link as f64))
+            .with("snd_blocked", Json::Num(n.snd_blocked as f64))
+            .with("discarded_close", Json::Num(n.discarded_close as f64))
+            .with("conns_opened", Json::Num(n.conns_opened as f64))
             .with("bytes_delivered", Json::Num(n.bytes_delivered as f64))
             .with("rx_dropped", Json::Num(n.rx_dropped as f64));
         let latency = Json::obj()
@@ -419,7 +444,14 @@ impl Kernel {
             net: NetMetrics {
                 sent: ns.sent,
                 delivered: ns.delivered,
-                dropped: ns.dropped,
+                dropped: ns.dropped(),
+                dropped_no_listener: ns.dropped_no_listener,
+                dropped_rcv_full: ns.dropped_rcv_full,
+                dropped_backlog: ns.dropped_backlog,
+                lost_link: ns.lost_link,
+                snd_blocked: ns.snd_blocked,
+                discarded_close: ns.discarded_close,
+                conns_opened: ns.conns_opened,
                 bytes_delivered: ns.bytes_delivered,
                 rx_dropped: st.get("net.rx_dropped"),
             },

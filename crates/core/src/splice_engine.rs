@@ -566,6 +566,7 @@ impl Kernel {
                 off,
             } => self.splice_dev_write(desc, lblk, src, off),
             KWork::SpliceSockWrite { desc, lblk, src } => self.splice_sock_write(desc, lblk, src),
+            KWork::SpliceSockDrain { host } => self.splice_sock_drain(host),
             KWork::SpliceComplete { desc } => self.complete_splice(desc),
             other => panic!("not splice work: {other:?}"),
         }

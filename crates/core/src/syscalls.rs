@@ -75,6 +75,11 @@ pub(crate) enum Cont {
     Pause,
     /// `recv` waiting for a datagram.
     Recv { fid: FileId, max_len: usize },
+    /// `accept` waiting for a connection to be carved.
+    Accept { fid: FileId },
+    /// `send` that hit send-buffer backpressure, parked until the link
+    /// drains.
+    Send { sock: SockId, data: Vec<u8> },
     /// [PCM91] handle read in progress.
     HandleRead {
         fid: FileId,
@@ -124,6 +129,8 @@ fn net_errno(e: NetErr) -> Errno {
         NetErr::PortInUse => Errno::Eaddrinuse,
         NetErr::NotConnected => Errno::Enotconn,
         NetErr::MsgTooBig => Errno::Emsgsize,
+        NetErr::NotBound => Errno::Einval,
+        NetErr::WouldBlock => Errno::Eagain,
     }
 }
 
@@ -343,6 +350,24 @@ impl Kernel {
                     Err(e) => self.err(net_errno(e)),
                 }
             }
+            SyscallReq::Listen { fd, backlog } => {
+                let Some(sock) = self.sock_of(pid, fd) else {
+                    return self.err(Errno::Ebadf);
+                };
+                match self.net.listen(sock, backlog) {
+                    Ok(()) => SyscallOutcome::Done {
+                        cpu: base,
+                        ret: SyscallRet::Val(0),
+                    },
+                    Err(e) => self.err(net_errno(e)),
+                }
+            }
+            SyscallReq::Accept { fd } => {
+                let Some(fid) = self.fid_of(pid, fd) else {
+                    return self.err(Errno::Ebadf);
+                };
+                self.do_accept(pid, fid, base)
+            }
             SyscallReq::Send { fd, data } => {
                 let Some(sock) = self.sock_of(pid, fd) else {
                     return self.err(Errno::Ebadf);
@@ -413,6 +438,8 @@ impl Kernel {
                 ret: SyscallRet::Val(0),
             },
             Cont::Recv { fid, max_len } => self.do_recv(pid, fid, max_len, Dur::ZERO),
+            Cont::Accept { fid } => self.do_accept(pid, fid, Dur::ZERO),
+            Cont::Send { sock, data } => self.do_send(sock, data, Dur::ZERO),
             Cont::HandleRead { fid, wait_buf } => {
                 self.do_handle_read_resume(pid, fid, wait_buf, Dur::ZERO)
             }
@@ -1025,13 +1052,75 @@ impl Kernel {
                         tx.arrival.max(now),
                         Event::NetDeliver {
                             dst,
-                            dgram: Datagram { src, data },
+                            dgram: Datagram {
+                                src,
+                                src_sock: sock,
+                                data,
+                            },
                         },
                     );
+                } else {
+                    self.stats.bump(match tx.gone {
+                        Some(knet::TxGone::Lost) => "net.tx_lost",
+                        _ => "net.tx_no_dst",
+                    });
+                    self.trace.emit(now, || TraceEvent::NetDrop {
+                        sock: sock.0,
+                        len: len as u32,
+                    });
                 }
                 SyscallOutcome::Done {
                     cpu,
                     ret: SyscallRet::Val(len as i64),
+                }
+            }
+            // Send buffer full: park the caller until the link drains
+            // enough to fit the datagram, then re-run the send.
+            Err(NetErr::WouldBlock) => {
+                self.stats.bump("net.snd_blocked");
+                let ready = self.net.link_ready_at(now, sock, len);
+                let until = ready.max(now + Dur::from_us(1));
+                SyscallOutcome::BlockUntil {
+                    cpu: base,
+                    until,
+                    then: WakeAction::Resume(Cont::Send { sock, data }),
+                }
+            }
+            Err(e) => self.err(net_errno(e)),
+        }
+    }
+
+    fn do_accept(&mut self, pid: Pid, fid: FileId, base: Dur) -> SyscallOutcome {
+        let Some(of) = self.files.get(fid) else {
+            return self.err(Errno::Ebadf);
+        };
+        let FileObj::Sock { sock } = of.obj else {
+            return self.err(Errno::Ebadf);
+        };
+        match self.net.accept(sock) {
+            Ok(Some(conn)) => {
+                let (fd, _) = self.files.open(
+                    pid,
+                    OpenFile {
+                        obj: FileObj::Sock { sock: conn },
+                        offset: 0,
+                        fasync: false,
+                        readable: true,
+                        writable: true,
+                        refs: 1,
+                        last_lblk: None,
+                    },
+                );
+                SyscallOutcome::Done {
+                    cpu: base + self.cfg.machine.udp_packet,
+                    ret: SyscallRet::NewFd(fd),
+                }
+            }
+            Ok(None) => {
+                self.conts.insert(pid, Cont::Accept { fid });
+                SyscallOutcome::Block {
+                    cpu: base,
+                    chan: Chan::new(ChanSpace::Accept, sock.0 as u64),
                 }
             }
             Err(e) => self.err(net_errno(e)),
@@ -1069,15 +1158,26 @@ impl Kernel {
         let now = self.q.now();
         let len = dgram.data.len() as u32;
         match self.net.deliver(dst, dgram) {
-            knet::DeliverOutcome::Queued => {
+            knet::DeliverOutcome::Queued { sock } => {
                 self.trace
-                    .emit(now, || TraceEvent::NetDeliver { sock: dst.0, len });
-                if !self.splice_sock_feed(dst) {
-                    self.wakeup(Chan::new(ChanSpace::SockRecv, dst.0 as u64));
+                    .emit(now, || TraceEvent::NetDeliver { sock: sock.0, len });
+                if !self.splice_sock_feed(sock) {
+                    self.wakeup(Chan::new(ChanSpace::SockRecv, sock.0 as u64));
                 }
             }
-            knet::DeliverOutcome::Dropped => {
+            knet::DeliverOutcome::NewConn { sock } => {
+                self.stats.bump("net.conns");
+                self.trace
+                    .emit(now, || TraceEvent::NetDeliver { sock: sock.0, len });
+                self.wakeup(Chan::new(ChanSpace::Accept, dst.0 as u64));
+            }
+            knet::DeliverOutcome::Dropped { reason } => {
                 self.stats.bump("net.rx_dropped");
+                self.stats.bump(match reason {
+                    knet::DropReason::NoReceiver => "net.rx_no_dst",
+                    knet::DropReason::RcvFull => "net.rx_rcv_full",
+                    knet::DropReason::Backlog => "net.rx_backlog",
+                });
                 self.trace
                     .emit(now, || TraceEvent::NetDrop { sock: dst.0, len });
             }

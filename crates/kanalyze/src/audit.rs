@@ -233,8 +233,11 @@ pub struct DescBytes {
     pub outcome_bytes: u64,
     /// Blocks the span completed.
     pub blocks_done: u64,
-    /// Reads the span issued.
+    /// Reads the span issued to a device.
     pub reads_issued: u64,
+    /// Reads satisfied from the buffer cache (a cache-hot source block
+    /// completes without issuing a device read).
+    pub read_hits: u64,
     /// Writes the span issued.
     pub writes_issued: u64,
 }
@@ -253,10 +256,10 @@ pub fn byte_conservation(descs: &[DescBytes], expected_total: u64) -> AuditOutco
                 d.desc, d.span_bytes, d.outcome_bytes
             ));
         }
-        if d.reads_issued < d.blocks_done || d.writes_issued < d.blocks_done {
+        if d.reads_issued + d.read_hits < d.blocks_done || d.writes_issued < d.blocks_done {
             bad.push(format!(
-                "desc {}: {} blocks done from {} reads / {} writes",
-                d.desc, d.blocks_done, d.reads_issued, d.writes_issued
+                "desc {}: {} blocks done from {} reads + {} hits / {} writes",
+                d.desc, d.blocks_done, d.reads_issued, d.read_hits, d.writes_issued
             ));
         }
     }
@@ -354,6 +357,7 @@ mod tests {
             outcome_bytes: 1 << 20,
             blocks_done: 128,
             reads_issued: 128,
+            read_hits: 0,
             writes_issued: 128,
         };
         assert!(byte_conservation(&[d], 1 << 20).pass);
@@ -368,6 +372,14 @@ mod tests {
             ..d
         };
         assert!(!byte_conservation(&[impossible], 1 << 20).pass);
+        // A cache hit is a legitimate block source: hits make up for
+        // reads that never reached the device.
+        let hot = DescBytes {
+            reads_issued: 0,
+            read_hits: 128,
+            ..d
+        };
+        assert!(byte_conservation(&[hot], 1 << 20).pass);
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! The process table.
+//!
+//! State changes go through [`ProcTable::set_state`], which maintains
+//! three incremental indices — the live count, the user-demand count,
+//! and the per-channel sleeper lists — so `all_exited`,
+//! `any_user_demand`, and `sleepers` are O(1)-ish however many
+//! processes exist. A connection-scale scenario (tens of thousands of
+//! client processes) calls all three on hot paths; scanning the table
+//! there would make the whole simulation quadratic.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ksim::{Dur, SimTime};
 
@@ -91,6 +99,12 @@ impl Process {
 pub struct ProcTable {
     procs: BTreeMap<Pid, Process>,
     next_pid: u32,
+    /// Processes not yet exited.
+    live: usize,
+    /// Processes runnable or running.
+    demand: usize,
+    /// Pids sleeping on each channel, insertion order.
+    sleep_index: HashMap<Chan, Vec<Pid>>,
 }
 
 impl ProcTable {
@@ -99,6 +113,9 @@ impl ProcTable {
         ProcTable {
             procs: BTreeMap::new(),
             next_pid: 1,
+            live: 0,
+            demand: 0,
+            sleep_index: HashMap::new(),
         }
     }
 
@@ -123,7 +140,41 @@ impl ProcTable {
                 ended: None,
             },
         );
+        self.live += 1;
+        self.demand += 1;
         pid
+    }
+
+    /// Moves `pid` to `state`, keeping the live/demand/sleeper indices
+    /// consistent. The only sanctioned way to change a process state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is unknown.
+    pub fn set_state(&mut self, pid: Pid, state: ProcState) {
+        let p = self
+            .procs
+            .get_mut(&pid)
+            .unwrap_or_else(|| panic!("no {pid:?}"));
+        let old = p.state;
+        if old == state {
+            return;
+        }
+        p.state = state;
+        match old {
+            ProcState::Runnable | ProcState::Running => self.demand -= 1,
+            ProcState::Sleeping(chan) => {
+                if let Some(v) = self.sleep_index.get_mut(&chan) {
+                    v.retain(|&q| q != pid);
+                }
+            }
+            ProcState::Exited(_) => self.live += 1,
+        }
+        match state {
+            ProcState::Runnable | ProcState::Running => self.demand += 1,
+            ProcState::Sleeping(chan) => self.sleep_index.entry(chan).or_default().push(pid),
+            ProcState::Exited(_) => self.live -= 1,
+        }
     }
 
     /// Looks up a process.
@@ -161,26 +212,34 @@ impl ProcTable {
         self.procs.values()
     }
 
-    /// Every process sleeping on `chan`.
+    /// Halves every live process's decayed CPU usage (the 4.3BSD
+    /// `schedcpu` analogue), in place — no per-pid lookups, so the
+    /// quarter-second decay stays cheap with huge process counts.
+    pub fn decay_recent_cpu(&mut self) {
+        for p in self.procs.values_mut() {
+            if !p.recent_cpu.is_zero() && !p.exited() {
+                p.recent_cpu = p.recent_cpu / 2;
+            }
+        }
+    }
+
+    /// Every process sleeping on `chan`, in pid order (the order the
+    /// original table scan produced, so wakeup ordering is unchanged).
     pub fn sleepers(&self, chan: Chan) -> Vec<Pid> {
-        self.procs
-            .values()
-            .filter(|p| p.state == ProcState::Sleeping(chan))
-            .map(|p| p.pid)
-            .collect()
+        let mut v = self.sleep_index.get(&chan).cloned().unwrap_or_default();
+        v.sort_unstable();
+        v
     }
 
     /// True when every process has exited.
     pub fn all_exited(&self) -> bool {
-        self.procs.values().all(|p| p.exited())
+        self.live == 0
     }
 
     /// True if any process is runnable or running (used to decide whether
     /// deferred kernel work may monopolise the CPU).
     pub fn any_user_demand(&self) -> bool {
-        self.procs
-            .values()
-            .any(|p| matches!(p.state, ProcState::Runnable | ProcState::Running))
+        self.demand > 0
     }
 }
 
@@ -211,9 +270,29 @@ mod tests {
         let a = t.spawn(Box::new(Nop), SimTime::ZERO);
         let b = t.spawn(Box::new(Nop), SimTime::ZERO);
         let chan = Chan::new(crate::types::ChanSpace::Buf, 9);
-        t.must_mut(a).state = ProcState::Sleeping(chan);
-        t.must_mut(b).state = ProcState::Sleeping(Chan::new(crate::types::ChanSpace::Buf, 10));
+        t.set_state(a, ProcState::Sleeping(chan));
+        t.set_state(
+            b,
+            ProcState::Sleeping(Chan::new(crate::types::ChanSpace::Buf, 10)),
+        );
         assert_eq!(t.sleepers(chan), vec![a]);
+        // Waking detaches from the sleeper index.
+        t.set_state(a, ProcState::Runnable);
+        assert_eq!(t.sleepers(chan), vec![]);
+    }
+
+    #[test]
+    fn sleepers_report_in_pid_order() {
+        let mut t = ProcTable::new();
+        let a = t.spawn(Box::new(Nop), SimTime::ZERO);
+        let b = t.spawn(Box::new(Nop), SimTime::ZERO);
+        let c = t.spawn(Box::new(Nop), SimTime::ZERO);
+        let chan = Chan::new(crate::types::ChanSpace::Buf, 1);
+        // Sleep in reverse order; the report is still pid-sorted.
+        for pid in [c, a, b] {
+            t.set_state(pid, ProcState::Sleeping(chan));
+        }
+        assert_eq!(t.sleepers(chan), vec![a, b, c]);
     }
 
     #[test]
@@ -222,8 +301,18 @@ mod tests {
         let a = t.spawn(Box::new(Nop), SimTime::ZERO);
         assert!(t.any_user_demand());
         assert!(!t.all_exited());
-        t.must_mut(a).state = ProcState::Exited(0);
+        t.set_state(a, ProcState::Exited(0));
         assert!(!t.any_user_demand());
+        assert!(t.all_exited());
+        // A sleeper is alive but not demanding the CPU.
+        let b = t.spawn(Box::new(Nop), SimTime::ZERO);
+        t.set_state(
+            b,
+            ProcState::Sleeping(Chan::new(crate::types::ChanSpace::Buf, 2)),
+        );
+        assert!(!t.any_user_demand());
+        assert!(!t.all_exited());
+        t.set_state(b, ProcState::Exited(0));
         assert!(t.all_exited());
     }
 }

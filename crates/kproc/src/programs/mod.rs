@@ -17,6 +17,9 @@
 //!   interval-timer-paced video frame splices.
 //! * [`net`] — UDP senders/sinks and the two relay variants
 //!   (read/write vs splice) for the socket-to-socket data path (§5.1).
+//! * [`server`] — the connection-scale scenario: a listening
+//!   [`SpliceServer`] (splice, splice-ring, or cp-relay modes) serving
+//!   an open-loop fleet of [`ServerClient`]s, one file fetch each.
 //! * [`Writer`] — creates files through the normal write path (exercises
 //!   allocation + delayed writes).
 //! * [`EndpointPair`] — a generic splice driver between any two endpoint
@@ -30,6 +33,7 @@ pub mod net;
 pub mod repeat;
 pub mod ring_scp;
 pub mod scp;
+pub mod server;
 pub mod util;
 pub mod writer;
 
@@ -41,4 +45,8 @@ pub use net::{UdpRelayRw, UdpRelaySplice, UdpSink, UdpSource};
 pub use repeat::Repeat;
 pub use ring_scp::RingScp;
 pub use scp::{Scp, ScpMode};
+pub use server::{
+    open_loop_delays, scenario_stats, ScenarioStats, ServeMode, ServerClient, SharedScenario,
+    SpliceServer,
+};
 pub use writer::Writer;

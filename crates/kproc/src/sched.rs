@@ -16,7 +16,7 @@
 //! steal cycles from whoever is running", which is exactly the effect the
 //! paper's CPU-availability experiment measures.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 use ksim::{Dur, SimTime};
 
@@ -81,6 +81,10 @@ impl CurrentRun {
 /// Run queue + current-run bookkeeping.
 pub struct Scheduler {
     runq: VecDeque<Pid>,
+    /// Mirror of `runq` membership, so the never-queued-twice invariant
+    /// is O(1) to check however long the queue grows (tens of thousands
+    /// of runnable clients in the connection-scale scenarios).
+    queued_set: HashSet<Pid>,
     current: Option<CurrentRun>,
     quantum: Dur,
     next_gen: u64,
@@ -91,6 +95,7 @@ impl Scheduler {
     pub fn new(quantum: Dur) -> Scheduler {
         Scheduler {
             runq: VecDeque::new(),
+            queued_set: HashSet::new(),
             current: None,
             quantum,
             next_gen: 0,
@@ -109,7 +114,7 @@ impl Scheduler {
     /// Panics if the process is already queued or current.
     pub fn enqueue(&mut self, pid: Pid) {
         assert!(
-            !self.runq.contains(&pid),
+            self.queued_set.insert(pid),
             "{pid:?} already on the run queue"
         );
         assert!(
@@ -121,7 +126,11 @@ impl Scheduler {
 
     /// Removes and returns the process at the head of the run queue.
     pub fn take_next(&mut self) -> Option<Pid> {
-        self.runq.pop_front()
+        let pid = self.runq.pop_front();
+        if let Some(pid) = pid {
+            self.queued_set.remove(&pid);
+        }
+        pid
     }
 
     /// Adds a process to the *head* of the run queue (it was about to be
@@ -132,7 +141,7 @@ impl Scheduler {
     /// Panics if the process is already queued or current.
     pub fn enqueue_front(&mut self, pid: Pid) {
         assert!(
-            !self.runq.contains(&pid),
+            self.queued_set.insert(pid),
             "{pid:?} already on the run queue"
         );
         assert!(

@@ -43,6 +43,9 @@ pub enum ChanSpace {
     Pause,
     /// Per-process fsync completion.
     Fsync,
+    /// A listener's accept backlog (acceptors sleep here; a carved
+    /// connection is the wakeup).
+    Accept,
 }
 
 /// A sleep/wakeup channel (BSD `tsleep`/`wakeup` address analogue).
@@ -373,6 +376,19 @@ pub enum SyscallReq {
         fd: Fd,
         /// Peer address.
         addr: SockAddr,
+    },
+    /// Mark a bound socket as a listener with a bounded accept backlog.
+    Listen {
+        /// Socket descriptor (must be bound).
+        fd: Fd,
+        /// Maximum carved-but-unaccepted connections.
+        backlog: u32,
+    },
+    /// Take the oldest pending connection off a listener, as a new
+    /// socket descriptor. Blocks until a connection arrives.
+    Accept {
+        /// Listening socket descriptor.
+        fd: Fd,
     },
     /// Send a datagram to the connected peer.
     Send {

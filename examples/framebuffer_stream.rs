@@ -104,7 +104,9 @@ fn main() {
     );
     println!(
         "datagrams: {} sent, {} delivered, {} dropped",
-        stats.sent, stats.delivered, stats.dropped
+        stats.sent,
+        stats.delivered,
+        stats.dropped()
     );
     let m = k.metrics();
     println!(

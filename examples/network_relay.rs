@@ -76,7 +76,7 @@ fn run(splice_relay: bool) -> Outcome {
     Outcome {
         test_elapsed: k.now().since(t0).as_secs_f64(),
         delivered: stats.delivered,
-        dropped: stats.dropped,
+        dropped: stats.dropped(),
     }
 }
 

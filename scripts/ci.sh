@@ -36,6 +36,15 @@ FAULT_SEED="$FAULT_SEED" cargo test -q --test faults any_seed_transient_faults_r
 FAULT_SEED="$FAULT_SEED" cargo test -q --test ring ring_runs_are_deterministic_under_fault_seed ||
     { echo "ring suite FAILED with FAULT_SEED=$FAULT_SEED (export it to reproduce)"; exit 1; }
 
+echo "== server scenario suite =="
+cargo test -q --test server
+
+echo "== server scenario replay, randomized seed =="
+SERVER_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
+echo "-- SERVER_SEED=$SERVER_SEED"
+SERVER_SEED="$SERVER_SEED" cargo test -q --test server server_scenario_replays_identically_under_seed ||
+    { echo "server suite FAILED with SERVER_SEED=$SERVER_SEED (export it to reproduce)"; exit 1; }
+
 echo "== table1 smoke run =="
 rm -f BENCH_table1.json
 cargo run --release -p bench --bin table1
@@ -61,6 +70,21 @@ rm -f BENCH_ring.json
 cargo run --release -p bench --bin ring
 test -s BENCH_ring.json
 
+echo "== server SLO determinism gate: two identical 10k-connection runs =="
+SERVER_CONNS=10000 cargo run --release -p bench --bin server
+BENCH_A=$(mktemp)
+mv BENCH_server.json "$BENCH_A"
+SERVER_CONNS=10000 cargo run --release -p bench --bin server
+cmp "$BENCH_A" BENCH_server.json ||
+    { echo "determinism gate FAILED: BENCH_server.json differs between identical seeded runs"; exit 1; }
+rm -f "$BENCH_A"
+echo "-- server bench bytes identical across runs"
+
+echo "== server SLO sweep smoke run (scaled connection counts) =="
+rm -f BENCH_server.json
+cargo run --release -p bench --bin server
+test -s BENCH_server.json
+
 echo "== tracedump smoke run =="
 rm -f TRACE_scp_ram.json
 cargo run --release -p bench --bin tracedump -- scp_ram
@@ -69,6 +93,7 @@ test -s TRACE_scp_ram.json
 echo "== property suites (differential models, props feature) =="
 cargo test -q -p ksim --features props --test props
 cargo test -q -p kbuf --features props --test props
+cargo test -q --features props --test props_kernel
 
 echo "== simspeed smoke run =="
 rm -f BENCH_simspeed.json
@@ -85,17 +110,30 @@ cmp "$TRACE_A" TRACE_scp_ram.json ||
 rm -f "$TRACE_A"
 echo "-- trace bytes identical across runs"
 
+echo "== tracedump server determinism gate =="
+rm -f TRACE_server.json
+cargo run --release -p bench --bin tracedump -- server
+test -s TRACE_server.json
+TRACE_B=$(mktemp)
+mv TRACE_server.json "$TRACE_B"
+cargo run --release -p bench --bin tracedump -- server
+cmp "$TRACE_B" TRACE_server.json ||
+    { echo "determinism gate FAILED: TRACE_server.json differs between identical seeded runs"; exit 1; }
+rm -f "$TRACE_B"
+echo "-- server trace bytes identical across runs"
+
 echo "== profiler smoke run =="
-rm -f BENCH_profile.json TS_scp_ram.json TS_spool.json TS_movie.json TS_ring.json
+rm -f BENCH_profile.json TS_scp_ram.json TS_spool.json TS_movie.json TS_ring.json TS_server.json
 cargo run --release -p bench --bin profile
 test -s BENCH_profile.json
 test -s TS_scp_ram.json
 test -s TS_ring.json
+test -s TS_server.json
 
 echo "== analysis engine: decomposition + queueing-law audits =="
-rm -f REPORT_scp_ram.json REPORT_spool.json REPORT_movie.json REPORT_ring.json
+rm -f REPORT_scp_ram.json REPORT_spool.json REPORT_movie.json REPORT_ring.json REPORT_server.json
 cargo run --release -p bench --bin analyze
-for wl in scp_ram spool movie ring; do
+for wl in scp_ram spool movie ring server; do
     test -s "REPORT_$wl.json"
 done
 
@@ -156,6 +194,35 @@ for row in rows:
     # Recovery stays cheap: within 25% of fault-free throughput.
     assert row["kb_per_s"] >= 0.75 * base["kb_per_s"], row
 print("BENCH_faults.json: ok (%d rows)" % len(rows))
+
+# The connection-scale SLO sweep: four nominal counts x three serve
+# modes, each row carrying the full latency digest and drop accounting.
+# The paper's availability claim at scale: both in-kernel paths leave
+# the compute program strictly more CPU than the user-space relay at
+# 10k connections and beyond.
+doc = json.load(open("BENCH_server.json"))
+assert doc["table"] == "server", doc.get("table")
+rows = doc["rows"]
+assert len(rows) == 12, len(rows)
+assert {r["mode"] for r in rows} == {"splice", "ring", "cp-relay"}
+for row in rows:
+    for key in ("nominal_conns", "conns", "mode", "p50_ms", "p99_ms",
+                "p999_ms", "completed", "dropped_backlog", "dropped_rcv_full",
+                "lost_link", "snd_blocked", "compute_cpu_share", "elapsed_s"):
+        assert key in row, (key, row)
+    assert row["completed"] == row["conns"], row
+    assert row["p50_ms"] <= row["p99_ms"] <= row["p999_ms"], row
+by = {(r["nominal_conns"], r["mode"]): r for r in rows}
+for nominal in (10_000, 100_000, 1_000_000):
+    relay = by[(nominal, "cp-relay")]["compute_cpu_share"]
+    for mode in ("splice", "ring"):
+        assert by[(nominal, mode)]["compute_cpu_share"] > relay, \
+            (nominal, mode, by[(nominal, mode)]["compute_cpu_share"], relay)
+print("BENCH_server.json: ok (%d rows, 10k shares splice %.3f ring %.3f"
+      " cp-relay %.3f)"
+      % (len(rows), by[(10_000, "splice")]["compute_cpu_share"],
+         by[(10_000, "ring")]["compute_cpu_share"],
+         by[(10_000, "cp-relay")]["compute_cpu_share"]))
 
 doc = json.load(open("BENCH_ring.json"))
 assert doc["table"] == "ring", doc.get("table")
@@ -228,7 +295,7 @@ print("TRACE_scp_ram.json: ok (%d events, %d tracks)" % (len(events), len(last))
 doc = json.load(open("BENCH_profile.json"))
 assert doc["table"] == "profile", doc.get("table")
 wls = {w["workload"]: w for w in doc["workloads"]}
-assert set(wls) == {"scp_ram", "spool", "movie", "ring"}, set(wls)
+assert set(wls) == {"scp_ram", "spool", "movie", "ring", "server"}, set(wls)
 for stage in ("sqe_wait", "read_queue_wait", "read_service", "read_to_write",
               "write_service", "retry_backoff", "end_to_end"):
     dig = wls["scp_ram"]["stages"][stage]
@@ -264,7 +331,7 @@ print("TS_scp_ram.json: ok (%d samples, monotone)" % len(samples))
 # whose non-informational components sum to the independently recorded
 # end-to-end latency within 1%, and all three queueing-law audits
 # passing within their stated tolerances.
-for wl in ("scp_ram", "spool", "movie", "ring"):
+for wl in ("scp_ram", "spool", "movie", "ring", "server"):
     doc = json.load(open("REPORT_%s.json" % wl))
     assert doc["schema_version"] == 1, doc.get("schema_version")
     assert doc["meta"]["workload"] == wl, doc.get("meta")

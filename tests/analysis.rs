@@ -173,6 +173,7 @@ fn queueing_laws_hold_on_live_run() {
             },
             blocks_done: s.blocks_done,
             reads_issued: s.reads_issued,
+            read_hits: s.read_hits,
             writes_issued: s.writes_issued,
         })
         .collect();

@@ -165,6 +165,134 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Connection-scenario byte conservation: for arbitrary fleet sizes,
+    /// file sizes, link loss rates, and receive-buffer limits, either
+    /// every client completes byte-exact or the kernel's counters
+    /// account the shortfall *exactly* — nothing leaks, nothing is
+    /// double-counted. Every splice the server ran left complete,
+    /// causally ordered block spans.
+    #[test]
+    fn lossy_connection_scenarios_account_every_byte(
+        clients in 1usize..10,
+        file_bytes in 1u64..40_000,
+        loss_ppm in 0u32..200_000,
+        rcv_limit in 2048usize..131_072,
+        seed in any::<u64>(),
+    ) {
+        use std::rc::Rc;
+        use knet::LinkModel;
+        use kproc::SockAddr;
+        use kproc::programs::{open_loop_delays, scenario_stats, ServeMode, ServerClient, SpliceServer};
+        use ksim::Dur;
+
+        let mut k = KernelBuilder::paper_machine_ram().trace(1 << 16).build();
+        // The limit applies to sockets created after this point — i.e.
+        // every socket of the scenario.
+        k.net_mut().set_rcv_limit(rcv_limit);
+        k.net_mut().set_link_model(
+            1,
+            LinkModel {
+                bps: 125_000_000,
+                base_latency: Dur::from_us(200),
+                jitter: Dur::from_us(100),
+                loss_ppm,
+                seed,
+            },
+        );
+        k.setup_file("/d0/file", file_bytes, seed);
+        k.cold_cache();
+        let stats = scenario_stats();
+        let server = k.spawn(Box::new(SpliceServer::new(
+            80,
+            "/d0/file",
+            file_bytes,
+            clients,
+            clients as u32,
+            ServeMode::Splice,
+            Rc::clone(&stats),
+        )));
+        for delay in open_loop_delays(clients, Dur::from_ms(20), seed) {
+            k.spawn(Box::new(ServerClient::new(
+                SockAddr { host: 1, port: 80 },
+                file_bytes,
+                seed,
+                delay + Dur::from_ms(1),
+                Rc::clone(&stats),
+            )));
+        }
+        // Lost requests or dropped data leave clients (and the server's
+        // accept loop) hung forever: run to quiescence at a fixed
+        // horizon, not to exit.
+        let horizon = k.horizon(30);
+        k.run_until(horizon, |k| k.procs().all_exited());
+
+        let s = stats.borrow();
+        let st = k.net().stats();
+        let total = clients as u64 * file_bytes;
+        let queued = k.net().total_rcv_used() as u64;
+
+        // Only the server moves payload bytes (requests are empty), and
+        // every accepted connection it served went out in full.
+        prop_assert_eq!(st.bytes_sent, s.served * file_bytes);
+        // Wire conservation: sent = delivered + lost + dropped.
+        prop_assert_eq!(st.sent, st.delivered + st.lost_link + st.dropped());
+        prop_assert_eq!(
+            st.bytes_sent,
+            st.bytes_delivered
+                + st.bytes_lost_link
+                + st.bytes_dropped_rcv_full
+                + st.bytes_dropped_no_listener
+                + st.bytes_dropped_backlog
+        );
+        // Delivery conservation: delivered = read + still queued +
+        // thrown away when a (mismatched) client's socket closed.
+        prop_assert_eq!(
+            st.bytes_delivered,
+            s.bytes_received + queued + st.bytes_discarded_close
+        );
+        // The headline: byte-exact service, or an exact shortfall audit.
+        prop_assert_eq!(
+            total,
+            s.bytes_received
+                + (clients as u64 - s.served) * file_bytes
+                + st.bytes_lost_link
+                + st.bytes_dropped_rcv_full
+                + st.bytes_dropped_no_listener
+                + st.bytes_dropped_backlog
+                + queued
+                + st.bytes_discarded_close,
+            "shortfall not accounted (loss_ppm={}, rcv_limit={})",
+            loss_ppm,
+            rcv_limit
+        );
+
+        // A lossless link with roomy client buffers must serve everyone.
+        if loss_ppm == 0 && rcv_limit as u64 >= 65_536 {
+            prop_assert!(k.procs().all_exited(), "clean run left hung processes");
+            prop_assert!(matches!(k.procs().must(server).state, ProcState::Exited(0)));
+            prop_assert_eq!(s.completed, clients as u64);
+            prop_assert_eq!(s.mismatches, 0);
+            prop_assert_eq!(s.bytes_received, total);
+        }
+
+        // The server serves strictly one splice per accepted conn, and
+        // each left complete, causally ordered block spans.
+        prop_assert_eq!(k.metrics().splice.started, s.served);
+        let q = k.trace().query();
+        for desc in 1..=s.served {
+            let spans = q.block_spans(desc);
+            prop_assert!(!spans.is_empty(), "desc {} left no spans", desc);
+            for sp in spans {
+                prop_assert!(sp.complete(), "desc {} incomplete span", desc);
+                prop_assert!(sp.ordered(), "desc {} out-of-order span", desc);
+            }
+        }
+    }
+}
+
 #[test]
 fn simulation_is_deterministic() {
     let run = || {

@@ -86,6 +86,54 @@ fn splice_relay_forwards_in_kernel() {
     assert_eq!(k.metrics().splice.started, 1);
 }
 
+/// The drop counter is split by cause: sends to a port nobody bound
+/// count as `dropped_no_listener`, arrivals past the receive-buffer
+/// limit count as `dropped_rcv_full`, and the legacy aggregate is
+/// exactly the sum of the split.
+#[test]
+fn dropped_counters_split_by_cause() {
+    let mut k = KernelBuilder::new().build();
+    // A bound-but-undrained receiver with a 2 KB buffer: the first two
+    // 1 KB datagrams queue, the rest bounce off the full buffer.
+    k.net_mut().set_rcv_limit(2048);
+    let parked = k.net_mut().socket(1);
+    k.net_mut().bind(parked, 9100).expect("port free");
+    k.spawn(Box::new(UdpSource::new(
+        SockAddr {
+            host: 1,
+            port: 9100,
+        },
+        1024,
+        4,
+        Dur::from_ms(1),
+        7,
+    )));
+    // Nothing listens on 9200: every send is a no-listener drop.
+    k.spawn(Box::new(UdpSource::new(
+        SockAddr {
+            host: 1,
+            port: 9200,
+        },
+        512,
+        3,
+        Dur::from_ms(1),
+        7,
+    )));
+    let horizon = k.horizon(60);
+    k.run_to_exit(horizon);
+
+    let m = k.metrics().net;
+    assert_eq!(m.dropped_no_listener, 3);
+    assert_eq!(m.dropped_rcv_full, 2);
+    assert_eq!(m.dropped_backlog, 0);
+    assert_eq!(
+        k.net().stats().dropped(),
+        m.dropped_no_listener + m.dropped_rcv_full + m.dropped_backlog,
+        "aggregate drop count must equal the sum of its causes"
+    );
+    assert_eq!(k.net().rcv_used(parked), 2048, "survivors fill the buffer");
+}
+
 #[test]
 fn rw_relay_with_cpu_contention() {
     let mut k = KernelBuilder::new().build();
