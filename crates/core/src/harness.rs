@@ -4,7 +4,7 @@
 use kdev::{AudioDac, Framebuffer, VideoDac};
 use khw::DiskProfile;
 use kproc::programs::util::pattern_bytes;
-use ksim::{Dur, SimTime};
+use ksim::{Dur, ObsConfig, SimTime};
 
 use crate::kernel::{Kernel, KernelConfig};
 use crate::objects::CharDev;
@@ -16,6 +16,7 @@ pub struct KernelBuilder {
     cdevs: Vec<(String, CharDev)>,
     trace: Option<usize>,
     sample: Option<(Dur, usize)>,
+    observe: Option<ObsConfig>,
 }
 
 impl Default for KernelBuilder {
@@ -33,6 +34,7 @@ impl KernelBuilder {
             cdevs: Vec::new(),
             trace: None,
             sample: None,
+            observe: None,
         }
     }
 
@@ -51,6 +53,16 @@ impl KernelBuilder {
     /// and trace output is byte-identical to a sampler-free kernel.
     pub fn sample(mut self, period: Dur, capacity: usize) -> KernelBuilder {
         self.sample = Some((period, capacity));
+        self
+    }
+
+    /// Reconfigures the resident request-observability pipeline
+    /// (head-sampling period, SLO objective, costs). The kernel always
+    /// builds with [`ObsConfig::on`]; pass [`ObsConfig::off`] for an
+    /// overhead baseline, or a tightened [`ObsConfig`] to provoke SLO
+    /// alerts in tests.
+    pub fn observe(mut self, cfg: ObsConfig) -> KernelBuilder {
+        self.observe = Some(cfg);
         self
     }
 
@@ -106,6 +118,9 @@ impl KernelBuilder {
         // object, and the sampler registers its counter capacity on it.
         if let Some((period, capacity)) = self.sample {
             k.install_sampler(period, capacity);
+        }
+        if let Some(cfg) = self.observe {
+            k.install_obs(cfg);
         }
         k
     }

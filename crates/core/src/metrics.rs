@@ -201,6 +201,45 @@ pub struct NetMetrics {
     pub bytes_delivered: u64,
     /// Datagrams dropped at a full receive queue.
     pub rx_dropped: u64,
+    /// Deepest pending-connection queue any listener reached.
+    pub backlog_peak: u64,
+}
+
+/// The resident request-observability pipeline: trace-loss visibility
+/// (satellite of the sampled-span work — silent ring truncation is now
+/// countable in every bench JSON) plus span, sampling, and SLO-monitor
+/// counters, the end-to-end request latency digest, and the tail
+/// exemplar linking the p999 bucket back into the trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ObsMetrics {
+    /// Trace records emitted over the run (the next sequence number).
+    pub trace_emitted: u64,
+    /// Trace records lost to ring wrap.
+    pub trace_dropped: u64,
+    /// Sampler ring samples lost to wrap (0 when the sampler is off).
+    pub sampler_dropped: u64,
+    /// Requests observed (staged connections that closed).
+    pub requests: u64,
+    /// Requests that errored or exceeded the SLO latency target.
+    pub violations: u64,
+    /// Requests that errored.
+    pub errors: u64,
+    /// SLO burn-rate alerts fired.
+    pub alerts: u64,
+    /// Peak simultaneously-staged request scratch entries.
+    pub staged_peak: u64,
+    /// Request spans committed (head-sampled or tail-retained).
+    pub spans_committed: u64,
+    /// Committed spans kept by the deterministic head-sampling draw.
+    pub spans_head_sampled: u64,
+    /// Committed spans kept only because they errored or ran over SLO.
+    pub spans_tail_retained: u64,
+    /// Committed spans evicted from the bounded span ring.
+    pub spans_dropped: u64,
+    /// End-to-end request latency (every request, sampled or not).
+    pub request_latency: HistSummary,
+    /// `(conn, trace_seq)` of the exemplar witnessing the p999 bucket.
+    pub p999_exemplar: Option<(u32, u64)>,
 }
 
 /// Latency distributions (ns), as compact digests.
@@ -240,6 +279,8 @@ pub struct MetricsSnapshot {
     pub net: NetMetrics,
     /// Latency digests.
     pub latency: LatencyMetrics,
+    /// Request observability: trace loss, span sampling, SLO counters.
+    pub obs: ObsMetrics,
     /// Buffers flushed by the `update` daemon.
     pub update_flushes: u64,
     /// Harness cold-cache flushes (experiment setup, not workload).
@@ -321,7 +362,35 @@ impl MetricsSnapshot {
             .with("discarded_close", Json::Num(n.discarded_close as f64))
             .with("conns_opened", Json::Num(n.conns_opened as f64))
             .with("bytes_delivered", Json::Num(n.bytes_delivered as f64))
-            .with("rx_dropped", Json::Num(n.rx_dropped as f64));
+            .with("rx_dropped", Json::Num(n.rx_dropped as f64))
+            .with("backlog_peak", Json::Num(n.backlog_peak as f64));
+        let o = &self.obs;
+        let obs = Json::obj()
+            .with("trace.emitted", Json::Num(o.trace_emitted as f64))
+            .with("trace.dropped", Json::Num(o.trace_dropped as f64))
+            .with("sampler.dropped", Json::Num(o.sampler_dropped as f64))
+            .with("slo.requests", Json::Num(o.requests as f64))
+            .with("slo.violations", Json::Num(o.violations as f64))
+            .with("slo.errors", Json::Num(o.errors as f64))
+            .with("slo.alerts", Json::Num(o.alerts as f64))
+            .with("spans.staged_peak", Json::Num(o.staged_peak as f64))
+            .with("spans.committed", Json::Num(o.spans_committed as f64))
+            .with("spans.head_sampled", Json::Num(o.spans_head_sampled as f64))
+            .with(
+                "spans.tail_retained",
+                Json::Num(o.spans_tail_retained as f64),
+            )
+            .with("spans.dropped", Json::Num(o.spans_dropped as f64))
+            .with("request_latency", hist_json(&o.request_latency))
+            .with(
+                "p999_exemplar",
+                match o.p999_exemplar {
+                    Some((conn, seq)) => Json::obj()
+                        .with("conn", Json::Num(conn as f64))
+                        .with("trace_seq", Json::Num(seq as f64)),
+                    None => Json::Null,
+                },
+            );
         let latency = Json::obj()
             .with("read_wait", hist_json(&self.latency.read_wait))
             .with("bread", hist_json(&self.latency.bread))
@@ -337,6 +406,7 @@ impl MetricsSnapshot {
             .with("cpu", cpu)
             .with("net", net)
             .with("latency", latency)
+            .with("obs", obs)
             .with("update_flushes", Json::Num(self.update_flushes as f64))
             .with("cold_caches", Json::Num(self.cold_caches as f64))
     }
@@ -454,12 +524,36 @@ impl Kernel {
                 conns_opened: ns.conns_opened,
                 bytes_delivered: ns.bytes_delivered,
                 rx_dropped: st.get("net.rx_dropped"),
+                backlog_peak: ns.backlog_peak,
             },
             latency: LatencyMetrics {
                 read_wait: HistSummary::from(&self.kstat.read_wait),
                 bread: HistSummary::from(&self.kstat.bread_latency),
                 bwrite: HistSummary::from(&self.kstat.bwrite_latency),
                 splice_block: HistSummary::from(&self.kstat.splice_block_latency),
+            },
+            obs: {
+                let oc = self.obs.counters();
+                ObsMetrics {
+                    trace_emitted: self.trace.emitted(),
+                    trace_dropped: self.trace.dropped(),
+                    sampler_dropped: self.sampler.as_ref().map_or(0, |s| s.dropped),
+                    requests: oc.requests,
+                    violations: oc.violations,
+                    errors: oc.errors,
+                    alerts: oc.alerts,
+                    staged_peak: oc.staged_peak,
+                    spans_committed: oc.committed,
+                    spans_head_sampled: oc.head_sampled,
+                    spans_tail_retained: oc.tail_retained,
+                    spans_dropped: oc.spans_dropped,
+                    request_latency: HistSummary::from(self.obs.latency()),
+                    p999_exemplar: self
+                        .obs
+                        .latency()
+                        .exemplar_at(0.999)
+                        .map(|e| (e.conn, e.trace_seq)),
+                }
             },
             update_flushes: st.get("update.flushed"),
             cold_caches: st.get("harness.cold_cache"),
@@ -498,5 +592,28 @@ mod tests {
                 .map(<[Json]>::len),
             Some(0)
         );
+        let obs = parsed.get("obs").expect("obs section");
+        assert_eq!(
+            obs.get("trace.dropped").and_then(Json::as_u64),
+            Some(0),
+            "trace loss must be countable even on an empty snapshot"
+        );
+        assert_eq!(obs.get("sampler.dropped").and_then(Json::as_u64), Some(0));
+        assert_eq!(obs.get("p999_exemplar"), Some(&Json::Null));
+        assert!(obs.get("request_latency").is_some());
+    }
+
+    #[test]
+    fn populated_obs_section_carries_exemplar() {
+        let mut snap = MetricsSnapshot::default();
+        snap.obs.p999_exemplar = Some((7, 4242));
+        let doc = snap.to_json();
+        let parsed = Json::parse(&doc.render()).unwrap();
+        let ex = parsed
+            .get("obs")
+            .and_then(|o| o.get("p999_exemplar"))
+            .expect("exemplar object");
+        assert_eq!(ex.get("conn").and_then(Json::as_u64), Some(7));
+        assert_eq!(ex.get("trace_seq").and_then(Json::as_u64), Some(4242));
     }
 }

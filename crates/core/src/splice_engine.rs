@@ -1094,6 +1094,12 @@ impl Kernel {
             error: d.error,
         };
         self.splice_outcomes.insert(desc, outcome);
+        // An in-kernel serve delivers to a connection socket: land the
+        // moved bytes (and any failure) on the staged request span.
+        if let DstEndpoint::Sock { sock } = dst {
+            self.obs
+                .note_transfer(sock.0, outcome.bytes_moved, outcome.error.map(errno_name));
+        }
         if let DstEndpoint::Dev { cdev } = dst {
             if let CharDev::Audio(a) = &mut self.cdevs[cdev].dev {
                 a.end_stream(now);

@@ -152,9 +152,9 @@ impl Kernel {
         match req {
             SyscallReq::Open { path, flags } => self.sys_open(pid, &path, flags),
             SyscallReq::Close(fd) => {
-                if self.close_fd(pid, fd) {
+                if let Some(extra) = self.close_fd(pid, fd) {
                     SyscallOutcome::Done {
-                        cpu: base,
+                        cpu: base + extra,
                         ret: SyscallRet::Val(0),
                     }
                 } else {
@@ -567,20 +567,26 @@ impl Kernel {
     }
 
     /// Releases a descriptor; used by `close(2)` and by exit cleanup.
-    pub(crate) fn close_fd(&mut self, pid: Pid, fd: Fd) -> bool {
+    /// Returns `None` for a bad fd, otherwise the extra simulated CPU
+    /// the close incurred (the observability span commit, on the last
+    /// reference to a server-side connection socket).
+    pub(crate) fn close_fd(&mut self, pid: Pid, fd: Fd) -> Option<Dur> {
         match self.files.close(pid, fd) {
-            None => false,
-            Some(None) => true,
+            None => None,
+            Some(None) => Some(Dur::ZERO),
             Some(Some(of)) => {
+                let mut extra = Dur::ZERO;
                 if let FileObj::Sock { sock } = of.obj {
                     // Closing the source of an active splice is its EOF:
                     // the ring in-flight table completes the descriptor so
                     // every entry path hears about it (sync wakeup, SIGIO,
-                    // or CQE).
+                    // or CQE). The splice completion lands its outcome on
+                    // the staged span before the span closes.
                     self.splice_sock_eof(sock);
+                    extra = self.obs_close(sock.0);
                     let _ = self.net.close(sock);
                 }
-                true
+                Some(extra)
             }
         }
     }
@@ -1042,6 +1048,9 @@ impl Kernel {
                     + self.cfg.machine.udp_packet
                     + self.cfg.machine.copy_cost(CopyKind::Net, len);
                 self.stats.add("copy.net_bytes", len as u64);
+                // A user-space relay serves its connection with send(2):
+                // accepted bytes land on the staged request span.
+                self.obs.note_transfer(sock.0, len as u64, None);
                 if let Some(dst) = tx.dst {
                     self.trace.emit(now, || TraceEvent::NetSend {
                         sock: sock.0,
@@ -1111,8 +1120,12 @@ impl Kernel {
                         last_lblk: None,
                     },
                 );
+                // Stage the request span: accept is the span's birth,
+                // and the current trace seq is its exemplar link.
+                let seq = self.trace.emitted();
+                let obs_cost = self.obs.note_accept(self.q.now(), conn.0, seq);
                 SyscallOutcome::Done {
-                    cpu: base + self.cfg.machine.udp_packet,
+                    cpu: base + self.cfg.machine.udp_packet + obs_cost,
                     ret: SyscallRet::NewFd(fd),
                 }
             }

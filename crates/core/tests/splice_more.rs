@@ -5,8 +5,8 @@ use kdev::VideoDac;
 use khw::{DiskProfile, SECTOR_SIZE};
 use kproc::programs::{Scp, ScpMode};
 use kproc::{
-    FcntlCmd, Fd, OpenFlags, ProcState, Program, Sig, SpliceLen, SpliceReq, Step, SyscallReq,
-    SyscallRet, UserCtx,
+    FcntlCmd, Fd, OpenFlags, ProcState, Program, Sig, SpliceReq, Step, SyscallReq, SyscallRet,
+    UserCtx,
 };
 use splice::objects::CharDev;
 use splice::{Kernel, KernelBuilder};

@@ -264,6 +264,9 @@ pub struct NetStats {
     pub snd_blocked: u64,
     /// Connection sockets carved off listeners.
     pub conns_opened: u64,
+    /// Deepest pending-connection queue any listener reached — how close
+    /// the accept loop came to shedding load at the backlog limit.
+    pub backlog_peak: u64,
 }
 
 impl NetStats {
@@ -768,6 +771,7 @@ impl Net {
             .as_mut()
             .expect("checked above");
         l.pending.push_back(conn);
+        self.stats.backlog_peak = self.stats.backlog_peak.max(l.pending.len() as u64);
         l.conns.insert(key, conn);
         self.stats.conns_opened += 1;
         match self.queue_into(conn, dgram) {
@@ -1046,9 +1050,11 @@ mod tests {
         };
         assert_eq!(net.stats().conns_opened, 1);
         assert_eq!(net.pending_conns(l), 1);
+        assert_eq!(net.stats().backlog_peak, 1, "peak tracks the pending queue");
         assert_eq!(net.accept(l).unwrap(), Some(conn));
         assert_eq!(net.pending_conns(l), 0);
         assert_eq!(net.accept(l).unwrap(), None, "backlog drained");
+        assert_eq!(net.stats().backlog_peak, 1, "peak is sticky across accepts");
         // The connection shares the listener's port and is wired back.
         assert_eq!(net.local_port(conn), Some(80));
         assert_eq!(net.peer(conn), net.source_addr(c).ok());
@@ -1274,7 +1280,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         for i in 0..100 {
             let from = if i % 2 == 0 { c } else { c2 };
-            t = t + Dur::from_ms(10); // stay under the send buffer
+            t += Dur::from_ms(10); // stay under the send buffer
             if let Ok(tx) = net.send(t, from, 400) {
                 if tx.dst == Some(l) {
                     net.deliver(

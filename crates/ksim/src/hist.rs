@@ -25,6 +25,19 @@ use std::fmt;
 
 use crate::json::Json;
 
+/// A sampled witness for one histogram bucket: the concrete value plus
+/// the trace/connection identity that produced it, linking a percentile
+/// bucket in a bench artifact back to the span in the trace ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded sample (same unit as the histogram).
+    pub value: u64,
+    /// Trace sequence number current when the sample was recorded.
+    pub trace_seq: u64,
+    /// Connection (socket) id the sample belongs to.
+    pub conn: u32,
+}
+
 /// A power-of-two bucketed histogram of `u64` samples (latencies in ns,
 /// request sizes, queue depths).
 #[derive(Clone)]
@@ -36,6 +49,10 @@ pub struct Hist {
     sum: u128,
     min: u64,
     max: u64,
+    /// Per-bucket exemplars, allocated lazily on the first
+    /// [`Hist::record_with_exemplar`] so plain histograms stay heap-free
+    /// and serialize exactly as before.
+    exemplars: Option<Box<[Option<Exemplar>; 64]>>,
 }
 
 impl Default for Hist {
@@ -53,21 +70,55 @@ impl Hist {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            exemplars: None,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
         }
     }
 
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
-        let idx = if v == 0 {
-            0
-        } else {
-            63 - v.leading_zeros() as usize
-        };
+        let idx = Self::bucket_of(v);
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += v as u128;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+    }
+
+    /// Records one sample and offers it as the bucket's exemplar. Each
+    /// bucket keeps the largest-valued exemplar seen (first wins on
+    /// ties), so the witness for a tail bucket is its worst case —
+    /// deterministic under replay.
+    pub fn record_with_exemplar(&mut self, v: u64, trace_seq: u64, conn: u32) {
+        self.record(v);
+        let slots = self.exemplars.get_or_insert_with(|| Box::new([None; 64]));
+        let slot = &mut slots[Self::bucket_of(v)];
+        if slot.is_none_or(|e| v > e.value) {
+            *slot = Some(Exemplar {
+                value: v,
+                trace_seq,
+                conn,
+            });
+        }
+    }
+
+    /// The exemplar witnessing bucket `i`, if one was offered.
+    pub fn exemplar(&self, i: usize) -> Option<Exemplar> {
+        self.exemplars.as_ref().and_then(|e| e.get(i).copied())?
+    }
+
+    /// The exemplar witnessing the bucket that contains the p-th
+    /// percentile rank — e.g. `exemplar_at(0.999)` links the p999
+    /// estimate to the actual request that produced it.
+    pub fn exemplar_at(&self, p: f64) -> Option<Exemplar> {
+        self.exemplar(self.percentile_bucket(p)?)
     }
 
     /// Number of samples recorded.
@@ -104,8 +155,12 @@ impl Hist {
         &self.buckets
     }
 
-    /// Approximate p-th percentile (0.0–1.0) using bucket upper bounds.
-    pub fn percentile(&self, p: f64) -> Option<u64> {
+    /// Index of the bucket containing the p-th percentile rank, or
+    /// `None` for an empty histogram / out-of-range `p`. This is the
+    /// digest's native resolution: two histograms over the same
+    /// distribution agree on the bucket even when min/max clamping
+    /// makes their [`Hist::percentile`] values differ.
+    pub fn percentile_bucket(&self, p: f64) -> Option<usize> {
         if self.count == 0 || !(0.0..=1.0).contains(&p) {
             return None;
         }
@@ -114,11 +169,24 @@ impl Hist {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                let hi = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
-                return Some(hi.min(self.max).max(self.min));
+                return Some(i);
             }
         }
-        Some(self.max)
+        // Unreachable with a consistent count, but degrade to the top
+        // occupied bucket rather than panicking.
+        Some(Self::bucket_of(self.max))
+    }
+
+    /// Approximate p-th percentile (0.0–1.0) using bucket upper bounds.
+    ///
+    /// The raw estimate is the chosen bucket's upper bound, clamped into
+    /// the exact observed `[min, max]`; the clamp means a bucket whose
+    /// recorded samples straddle its boundary with `min`/`max` can never
+    /// report below `min` or above `max`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let i = self.percentile_bucket(p)?;
+        let hi = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+        Some(hi.clamp(self.min, self.max))
     }
 
     /// Median estimate (`percentile(0.50)`).
@@ -152,6 +220,16 @@ impl Hist {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        if let Some(theirs) = other.exemplars.as_deref() {
+            let ours = self.exemplars.get_or_insert_with(|| Box::new([None; 64]));
+            for (slot, candidate) in ours.iter_mut().zip(theirs.iter()) {
+                match (&slot, candidate) {
+                    (None, Some(e)) => *slot = Some(*e),
+                    (Some(cur), Some(e)) if e.value > cur.value => *slot = Some(*e),
+                    _ => {}
+                }
+            }
+        }
     }
 
     /// Serializes the summary the dashboards key on: exact
@@ -301,6 +379,91 @@ mod tests {
         let (p50, p90, p99) = (h.p50().unwrap(), h.p90().unwrap(), h.p99().unwrap());
         assert!(p50 <= p90 && p90 <= p99);
         assert!((4..=32).contains(&p50) && (4..=32).contains(&p99));
+    }
+
+    #[test]
+    fn straddled_bucket_percentile_never_reports_below_min() {
+        // min=6 lands in bucket 2 ([4,8)), max=9 in bucket 3 ([8,16)):
+        // the recorded extrema straddle the bucket-2/3 boundary. Every
+        // percentile resolved from bucket 2 has a raw upper bound of 7,
+        // which is >= min here — and the clamp guarantees that even if a
+        // bucket's bound undercut the observed min, the report could
+        // never fall below it.
+        let mut h = Hist::new();
+        for v in [6u64, 7, 8, 9] {
+            h.record(v);
+        }
+        for p in [0.01, 0.25, 0.5, 0.75, 0.99, 0.999, 1.0] {
+            let got = h.percentile(p).unwrap();
+            assert!(
+                (6..=9).contains(&got),
+                "p{p} reported {got}, outside observed [6, 9]"
+            );
+        }
+        // And monotone across the straddle.
+        assert!(h.p50().unwrap() <= h.p99().unwrap());
+    }
+
+    #[test]
+    fn percentile_always_within_observed_range_brute_force() {
+        // Exhaustive small-sample sweep around bucket boundaries: for
+        // every multiset drawn from values straddling powers of two, no
+        // percentile may escape [min, max].
+        let candidates = [0u64, 1, 2, 3, 4, 7, 8, 9, 15, 16, 17, 1023, 1024];
+        for &a in &candidates {
+            for &b in &candidates {
+                for &c in &candidates {
+                    let mut h = Hist::new();
+                    for v in [a, b, c] {
+                        h.record(v);
+                    }
+                    let lo = a.min(b).min(c);
+                    let hi = a.max(b).max(c);
+                    for p in [0.0, 0.001, 0.5, 0.99, 0.999, 1.0] {
+                        let got = h.percentile(p).unwrap();
+                        assert!(
+                            (lo..=hi).contains(&got),
+                            "p{p} of {:?} reported {got}, outside [{lo}, {hi}]",
+                            [a, b, c]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exemplars_witness_buckets_and_survive_merge() {
+        let mut h = Hist::new();
+        assert_eq!(h.exemplar(0), None, "no exemplars until offered");
+        h.record_with_exemplar(6, 100, 1); // bucket 2
+        h.record_with_exemplar(7, 101, 2); // bucket 2, larger value wins
+        h.record_with_exemplar(7, 102, 3); // tie: first winner kept
+        h.record_with_exemplar(1 << 20, 200, 9);
+        let e = h.exemplar(2).unwrap();
+        assert_eq!((e.value, e.trace_seq, e.conn), (7, 101, 2));
+        assert_eq!(h.exemplar(3), None);
+
+        // The tail exemplar links the top percentile to its request.
+        let tail = h.exemplar_at(0.999).unwrap();
+        assert_eq!((tail.value, tail.conn), (1 << 20, 9));
+
+        // Merge keeps the larger witness per bucket.
+        let mut other = Hist::new();
+        other.record_with_exemplar(5, 300, 7); // bucket 2, smaller: loses
+        other.record_with_exemplar(40, 301, 8); // bucket 5: fills a gap
+        h.merge(&other);
+        assert_eq!(h.exemplar(2).unwrap().trace_seq, 101);
+        assert_eq!(h.exemplar(5).unwrap().conn, 8);
+
+        // Exemplar-free histograms still serialize identically.
+        let mut plain = Hist::new();
+        plain.record(6);
+        plain.record(7);
+        let mut tagged = Hist::new();
+        tagged.record_with_exemplar(6, 1, 1);
+        tagged.record_with_exemplar(7, 2, 2);
+        assert_eq!(plain.to_json().render(), tagged.to_json().render());
     }
 
     #[test]

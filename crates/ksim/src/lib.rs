@@ -8,9 +8,12 @@
 //! mechanism the paper uses to decouple the read and write sides of a
 //! splice, cheap named counters ([`Stats`]), structured spans/gauges and
 //! latency digests ([`kstat`]), a dependency-free JSON value ([`Json`])
-//! for the bench emitters, and a typed trace ring ([`Trace`]) with
+//! for the bench emitters, a typed trace ring ([`Trace`]) with
 //! structured tracepoints ([`TraceEvent`]), causal per-block splice
-//! spans ([`trace::BlockSpan`]), and Chrome trace-event export.
+//! spans ([`trace::BlockSpan`]), and Chrome trace-event export, and a
+//! resident request-observability pipeline ([`obs`]): head-sampled
+//! request spans with tail retention, an SLO burn-rate monitor, and a
+//! flight recorder.
 //!
 //! Everything here is single-threaded on purpose: the simulated machine is
 //! a uniprocessor DECstation 5000/200, and determinism (same inputs → same
@@ -22,15 +25,20 @@ pub mod event;
 pub mod hist;
 pub mod json;
 pub mod kstat;
+pub mod obs;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use callout::{BTreeCallout, Callout, CalloutId};
 pub use event::{EventId, EventQueue};
-pub use hist::Hist;
+pub use hist::{Exemplar, Hist};
 pub use json::Json;
 pub use kstat::{FlowSample, HistSummary, Kstat, SpliceSpan, SpliceSpans, StageHists};
+pub use obs::{
+    CloseOutcome, FlightDump, ObsConfig, ObsCounters, Observability, ReqSpan, SloAlertInfo,
+    SloConfig,
+};
 pub use stats::Stats;
 pub use time::{Dur, SimTime};
 pub use trace::{BlockSpan, CounterId, PhaseMark, Trace, TraceEvent, TraceQuery, TraceRecord};

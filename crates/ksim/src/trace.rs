@@ -247,6 +247,17 @@ pub enum TraceEvent {
         /// CQEs handed to the reaper in this crossing.
         entries: u32,
     },
+    /// The SLO monitor's sliding-window burn rate crossed its alert
+    /// threshold (the flight recorder freezes on the first of these).
+    SloAlert {
+        /// Burn rate in thousandths: (window violation fraction) /
+        /// (1 - objective), ×1000.
+        burn_milli: u32,
+        /// Over-SLO (or errored) requests in the window.
+        window_viol: u32,
+        /// Total requests in the window.
+        window_req: u32,
+    },
 }
 
 impl TraceEvent {
@@ -285,6 +296,7 @@ impl TraceEvent {
             TraceEvent::RingSubmit { .. } => "ring.submit",
             TraceEvent::RingSqeWait { .. } => "ring.sqe_wait",
             TraceEvent::RingReap { .. } => "ring.reap",
+            TraceEvent::SloAlert { .. } => "slo.alert",
         }
     }
 
@@ -319,12 +331,14 @@ impl TraceEvent {
             TraceEvent::NetSend { .. }
             | TraceEvent::NetDeliver { .. }
             | TraceEvent::NetDrop { .. } => ("net", 5),
+            TraceEvent::SloAlert { .. } => ("slo", 7),
             _ => ("splice", 6),
         }
     }
 
-    /// Event payload as a Chrome `args` object.
-    fn args_json(&self) -> Json {
+    /// Event payload as a structured `args` object (the Chrome export
+    /// and the flight recorder share this encoding).
+    pub fn args_json(&self) -> Json {
         let num = |v: u64| Json::Num(v as f64);
         match *self {
             TraceEvent::SchedWakeup { pid }
@@ -403,6 +417,14 @@ impl TraceEvent {
             TraceEvent::RingSqeWait { ring, wait_ns } => Json::obj()
                 .with("ring", num(ring))
                 .with("wait_ns", num(wait_ns)),
+            TraceEvent::SloAlert {
+                burn_milli,
+                window_viol,
+                window_req,
+            } => Json::obj()
+                .with("burn_milli", num(burn_milli as u64))
+                .with("window_viol", num(window_viol as u64))
+                .with("window_req", num(window_req as u64)),
         }
     }
 }
@@ -463,6 +485,16 @@ impl fmt::Display for TraceEvent {
             TraceEvent::RingSqeWait { ring, wait_ns } => {
                 write!(f, " ring={ring} wait_ns={wait_ns}")
             }
+            TraceEvent::SloAlert {
+                burn_milli,
+                window_viol,
+                window_req,
+            } => {
+                write!(
+                    f,
+                    " burn_milli={burn_milli} window_viol={window_viol} window_req={window_req}"
+                )
+            }
         }
     }
 }
@@ -490,6 +522,8 @@ pub struct Trace {
     enabled: bool,
     capacity: usize,
     next_seq: u64,
+    /// Records evicted by ring wrap — silent truncation made countable.
+    dropped: u64,
     ring: VecDeque<TraceRecord>,
     /// Per-series cap for counter samples; 0 means counters are off
     /// (the default — nothing records and the Chrome export is
@@ -515,6 +549,7 @@ impl Trace {
             enabled: false,
             capacity: capacity.max(1),
             next_seq: 0,
+            dropped: 0,
             ring: VecDeque::new(),
             counter_capacity: 0,
             counters: Vec::new(),
@@ -612,6 +647,7 @@ impl Trace {
         }
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
+            self.dropped += 1;
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -630,6 +666,19 @@ impl Trace {
     /// Number of records currently in the ring.
     pub fn len(&self) -> usize {
         self.ring.len()
+    }
+
+    /// Total records emitted over the trace's lifetime (the next
+    /// sequence number) — includes records the ring has since dropped.
+    pub fn emitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Records lost to ring wrap: `emitted() - dropped()` never exceeds
+    /// the capacity. A non-zero value means the oldest events of the
+    /// run are gone.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// True if nothing has been captured (or everything was cleared).
@@ -690,6 +739,7 @@ impl Trace {
             ("callout", 4),
             ("net", 5),
             ("splice", 6),
+            ("slo", 7),
         ] {
             evs.push(meta(name, KERNEL_PID, tid, "thread_name"));
         }
@@ -980,6 +1030,49 @@ mod tests {
         assert_eq!(recs[0].seq, 3);
         assert_eq!(recs[1].seq, 4);
         assert_eq!(recs[1].ev, wake(4));
+        assert_eq!(tr.emitted(), 5, "every emit counts");
+        assert_eq!(tr.dropped(), 3, "every wrap-eviction counts");
+        assert_eq!(tr.emitted() - tr.dropped(), tr.len() as u64);
+    }
+
+    #[test]
+    fn unwrapped_ring_reports_zero_dropped() {
+        let mut tr = Trace::new(8);
+        tr.set_enabled(true);
+        for i in 0..8 {
+            tr.emit(SimTime::ZERO, move || wake(i));
+        }
+        assert_eq!(tr.emitted(), 8);
+        assert_eq!(tr.dropped(), 0, "at-capacity without wrap drops nothing");
+    }
+
+    #[test]
+    fn slo_alert_event_round_trips() {
+        let mut tr = Trace::new(8);
+        tr.set_enabled(true);
+        tr.emit(SimTime::ZERO, || TraceEvent::SloAlert {
+            burn_milli: 2500,
+            window_viol: 5,
+            window_req: 64,
+        });
+        let recs = tr.query().named("slo.alert");
+        assert_eq!(recs.len(), 1);
+        assert!(
+            tr.dump()
+                .contains("burn_milli=2500 window_viol=5 window_req=64"),
+            "{}",
+            tr.dump()
+        );
+        let doc = tr.to_chrome_json();
+        let parsed = Json::parse(&doc.render()).expect("chrome json parses");
+        assert_eq!(parsed, doc);
+        // Lands on its own subsystem track, not the splice fallback.
+        let evs = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let alert = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("slo.alert"))
+            .expect("alert instant event");
+        assert_eq!(alert.get("tid").and_then(Json::as_u64), Some(7));
     }
 
     #[test]

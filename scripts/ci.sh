@@ -85,6 +85,22 @@ rm -f BENCH_server.json
 cargo run --release -p bench --bin server
 test -s BENCH_server.json
 
+echo "== observability overhead bench + flight determinism gate =="
+rm -f BENCH_obs.json FLIGHT_server.json
+cargo run --release -p bench --bin obs
+test -s BENCH_obs.json
+test -s FLIGHT_server.json
+OBS_A=$(mktemp); FLIGHT_A=$(mktemp)
+mv BENCH_obs.json "$OBS_A"
+mv FLIGHT_server.json "$FLIGHT_A"
+cargo run --release -p bench --bin obs
+cmp "$OBS_A" BENCH_obs.json ||
+    { echo "determinism gate FAILED: BENCH_obs.json differs between identical seeded runs"; exit 1; }
+cmp "$FLIGHT_A" FLIGHT_server.json ||
+    { echo "determinism gate FAILED: FLIGHT_server.json differs between identical seeded runs"; exit 1; }
+rm -f "$OBS_A" "$FLIGHT_A"
+echo "-- obs bench and flight recorder bytes identical across runs"
+
 echo "== tracedump smoke run =="
 rm -f TRACE_scp_ram.json
 cargo run --release -p bench --bin tracedump -- scp_ram
@@ -315,6 +331,54 @@ assert scp["test_cpu_share"] >= cp["test_cpu_share"], cont
 assert cont["share_improvement"] >= 1.0, cont
 print("BENCH_profile.json: ok (%d workloads, share %.3f -> %.3f)"
       % (len(wls), cp["test_cpu_share"], scp["test_cpu_share"]))
+
+# The observability overhead table: tracing off / head-sampled (the
+# resident 1-in-64 default) / full, with the sampled-mode throughput
+# cost gated against the budget the bench itself asserts in-binary.
+doc = json.load(open("BENCH_obs.json"))
+assert doc["table"] == "obs", doc.get("table")
+budget = doc["overhead_budget_pct"]
+rows = {r["mode"]: r for r in doc["rows"]}
+assert set(rows) == {"off", "sampled", "full"}, set(rows)
+for row in rows.values():
+    for key in ("mode", "sample_period", "requests", "spans_committed",
+                "trace_emitted", "events_per_request", "elapsed_s",
+                "throughput_rps", "overhead_pct", "compute_cpu_share"):
+        assert key in row, (key, row)
+assert rows["off"]["spans_committed"] == 0, rows["off"]
+assert rows["sampled"]["sample_period"] == 64, rows["sampled"]
+assert rows["sampled"]["overhead_pct"] <= budget, \
+    (rows["sampled"]["overhead_pct"], budget)
+# Head sampling actually samples; full mode commits every request.
+assert rows["sampled"]["spans_committed"] < rows["sampled"]["requests"] / 8
+assert rows["full"]["spans_committed"] == rows["full"]["requests"]
+# The audit rode along: sampled p99 vs the full hist, tail retention.
+audit = doc["audit"]
+assert audit["pass"], audit
+assert {o["law"] for o in audit["outcomes"]} == \
+    {"sampling.p99", "sampling.tail_retention"}, audit
+print("BENCH_obs.json: ok (sampled overhead %.2f%% of %.0f%% budget)"
+      % (rows["sampled"]["overhead_pct"], budget))
+
+# The flight recorder artifact: the frozen trace window around the SLO
+# alert, schema-versioned and per-record well-formed.
+doc = json.load(open("FLIGHT_server.json"))
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["workload"] == "server", doc.get("workload")
+alert = doc["alert"]
+assert alert["window_viol"] > 0 and alert["window_req"] >= alert["window_viol"]
+assert alert["burn_milli"] > 0, alert
+recs = doc["records"]
+assert recs, "flight froze no records"
+seqs = [r["seq"] for r in recs]
+assert seqs == sorted(seqs), "flight records out of order"
+for r in recs:
+    for key in ("seq", "at_ns", "name", "args"):
+        assert key in r, (key, r)
+assert any(r["name"] == "slo.alert" for r in recs), \
+    "the alert itself must be inside its own flight window"
+print("FLIGHT_server.json: ok (%d records, burn %d milli)"
+      % (len(recs), alert["burn_milli"]))
 
 ts_doc = json.load(open("TS_scp_ram.json"))
 samples = ts_doc["samples"]

@@ -142,6 +142,103 @@ fn snapshot_json_round_trips() {
 }
 
 // ---------------------------------------------------------------------------
+// Request observability (spans, sampling, SLO counters)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn trace_wrap_is_counted_in_the_obs_section() {
+    // A ring far smaller than the event stream must wrap — and the loss
+    // must be *visible*: `trace.dropped` in the snapshot, with
+    // `emitted = dropped + retained` exactly.
+    let k = spliced_kernel_inner(KernelBuilder::paper_machine_ram().trace(64));
+    let m = k.metrics();
+    assert!(
+        m.obs.trace_dropped > 0,
+        "64-record ring cannot hold a 2 MB splice"
+    );
+    assert_eq!(
+        m.obs.trace_emitted,
+        m.obs.trace_dropped + k.trace().len() as u64
+    );
+
+    let doc = m.to_json();
+    let obs = doc.get("obs").expect("obs section");
+    assert_eq!(
+        obs.get("trace.dropped").and_then(Json::as_u64),
+        Some(m.obs.trace_dropped)
+    );
+    assert_eq!(obs.get("sampler.dropped").and_then(Json::as_u64), Some(0));
+}
+
+#[test]
+fn served_requests_populate_spans_slo_counters_and_exemplars() {
+    use kproc::programs::{
+        open_loop_delays, scenario_stats, ServeMode, ServerClient, SpliceServer,
+    };
+    use kproc::SockAddr;
+    use ksim::Dur;
+    use std::rc::Rc;
+
+    let conns = 96usize;
+    let file_bytes = 8 * 1024u64;
+    let mut k = KernelBuilder::paper_machine_ram().trace(1 << 16).build();
+    k.net_mut().set_link_model(
+        1,
+        knet::LinkModel {
+            bps: 125_000_000,
+            base_latency: Dur::from_us(200),
+            jitter: Dur::from_us(100),
+            loss_ppm: 0,
+            seed: 13,
+        },
+    );
+    k.setup_file("/d0/file", file_bytes, 13);
+    k.cold_cache();
+    let stats = scenario_stats();
+    k.spawn(Box::new(SpliceServer::new(
+        80,
+        "/d0/file",
+        file_bytes,
+        conns,
+        conns as u32,
+        ServeMode::Splice,
+        Rc::clone(&stats),
+    )));
+    for delay in open_loop_delays(conns, Dur::from_ms(20), 13) {
+        k.spawn(Box::new(ServerClient::new(
+            SockAddr { host: 1, port: 80 },
+            file_bytes,
+            13,
+            delay + Dur::from_ms(1),
+            Rc::clone(&stats),
+        )));
+    }
+    let horizon = k.horizon(600);
+    k.run_to_exit(horizon);
+    assert_eq!(stats.borrow().completed, conns as u64);
+
+    // The resident pipeline observed every served request without any
+    // builder opt-in, and the counters are internally consistent.
+    let m = k.metrics();
+    assert_eq!(m.obs.requests, conns as u64);
+    assert_eq!(
+        m.obs.spans_committed,
+        m.obs.spans_head_sampled + m.obs.spans_tail_retained
+    );
+    assert_eq!(k.obs().latency().count(), conns as u64);
+    assert_eq!(k.obs().staged_len(), 0, "all scratch resolved at close");
+    assert_eq!(m.obs.alerts, 0, "a generous SLO must not page");
+
+    // The p999 bucket carries an exemplar linking back into the trace:
+    // its trace_seq is a real emitted sequence number, and its conn is
+    // one of the committed or observed request sockets.
+    let (conn, seq) = m.obs.p999_exemplar.expect("requests leave an exemplar");
+    assert!(seq < m.obs.trace_emitted, "exemplar seq beyond the stream");
+    let ex = k.obs().latency().exemplar_at(0.999).unwrap();
+    assert_eq!((ex.conn, ex.trace_seq), (conn, seq));
+}
+
+// ---------------------------------------------------------------------------
 // Typed trace ring
 // ---------------------------------------------------------------------------
 

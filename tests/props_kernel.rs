@@ -293,6 +293,93 @@ proptest! {
     }
 }
 
+proptest! {
+    // Each case boots a server fleet; keep the counts moderate.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tail retention is lossless at *any* head-sampling rate: with an
+    /// unmeetable SLO target every request is a violation, and every
+    /// violation must have a committed span — whether or not the
+    /// deterministic 1-in-N draw would have kept its connection. A
+    /// sampler that let an errored or over-SLO request slip away
+    /// unrecorded would defeat the point of tail-based sampling.
+    #[test]
+    fn error_and_over_slo_requests_always_commit_spans(
+        period in 1u32..512,
+        clients in 8usize..64,
+        seed in any::<u64>(),
+    ) {
+        use std::rc::Rc;
+        use knet::LinkModel;
+        use kproc::SockAddr;
+        use kproc::programs::{open_loop_delays, scenario_stats, ServeMode, ServerClient, SpliceServer};
+        use ksim::{Dur, ObsConfig, SloConfig};
+
+        let file_bytes = 8 * 1024u64;
+        let cfg = ObsConfig {
+            sample_period: period,
+            slo: SloConfig {
+                latency_target: Dur::from_us(1),
+                ..SloConfig::default()
+            },
+            ..ObsConfig::on()
+        };
+        let mut k = KernelBuilder::paper_machine_ram().observe(cfg).build();
+        k.net_mut().set_link_model(
+            1,
+            LinkModel {
+                bps: 125_000_000,
+                base_latency: Dur::from_us(200),
+                jitter: Dur::from_us(100),
+                loss_ppm: 0,
+                seed,
+            },
+        );
+        k.setup_file("/d0/file", file_bytes, seed);
+        k.cold_cache();
+        let stats = scenario_stats();
+        let server = k.spawn(Box::new(SpliceServer::new(
+            80,
+            "/d0/file",
+            file_bytes,
+            clients,
+            clients as u32,
+            ServeMode::Splice,
+            Rc::clone(&stats),
+        )));
+        for delay in open_loop_delays(clients, Dur::from_ms(20), seed) {
+            k.spawn(Box::new(ServerClient::new(
+                SockAddr { host: 1, port: 80 },
+                file_bytes,
+                seed,
+                delay + Dur::from_ms(1),
+                Rc::clone(&stats),
+            )));
+        }
+        let horizon = k.horizon(600);
+        k.run_to_exit(horizon);
+        prop_assert!(matches!(k.procs().must(server).state, ProcState::Exited(0)));
+
+        let c = k.obs().counters();
+        prop_assert_eq!(c.requests, clients as u64);
+        prop_assert_eq!(
+            c.violations, c.requests,
+            "a 1 µs target must make every request violate"
+        );
+        // The property: 100% of violating requests testify, at any rate.
+        let tail_spans = k
+            .obs()
+            .committed_spans()
+            .filter(|s| s.over_slo || s.error.is_some())
+            .count() as u64;
+        prop_assert_eq!(
+            tail_spans, c.violations,
+            "period={}: a violating request closed without a span", period
+        );
+        prop_assert_eq!(c.committed, c.head_sampled + c.tail_retained);
+    }
+}
+
 #[test]
 fn simulation_is_deterministic() {
     let run = || {

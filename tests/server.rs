@@ -10,7 +10,7 @@ use std::rc::Rc;
 use knet::LinkModel;
 use kproc::programs::{open_loop_delays, scenario_stats, ServeMode, ServerClient, SpliceServer};
 use kproc::{ProcState, SockAddr};
-use ksim::Dur;
+use ksim::{Dur, ObsConfig, ReqSpan, SloConfig};
 use splice::{Kernel, KernelBuilder};
 
 const FILE_BYTES: u64 = 8 * 1024;
@@ -26,8 +26,19 @@ fn addr() -> SockAddr {
 
 /// Builds a kernel with the bench link model and the seeded file.
 fn server_kernel(seed: u64, trace: usize) -> Kernel {
+    server_kernel_obs(seed, trace, None)
+}
+
+/// [`server_kernel`] with an observability override (e.g. an unmeetable
+/// SLO to provoke the flight recorder).
+fn server_kernel_obs(seed: u64, trace: usize, obs: Option<ObsConfig>) -> Kernel {
     let b = KernelBuilder::paper_machine_ram();
     let b = if trace > 0 { b.trace(trace) } else { b };
+    let b = if let Some(cfg) = obs {
+        b.observe(cfg)
+    } else {
+        b
+    };
     let mut k = b.build();
     k.net_mut().set_link_model(
         1,
@@ -299,4 +310,80 @@ fn server_scenario_replays_identically_under_seed() {
     let a = run();
     let b = run();
     assert_eq!(a, b, "SERVER_SEED={seed}: replay diverged");
+}
+
+/// The flight recorder and the committed-span set replay byte-identically
+/// for a given seed: an unmeetable SLO target turns every request into a
+/// violation, the burn-rate monitor alerts at the same close on both
+/// runs, the frozen trace window renders to the same JSON bytes, and
+/// the committed spans match span for span.
+#[test]
+fn flight_dump_and_committed_spans_replay_identically() {
+    let seed: u64 = std::env::var("SERVER_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SEED);
+    let conns = 256usize;
+    let cfg = ObsConfig {
+        slo: SloConfig {
+            latency_target: Dur::from_us(1),
+            ..SloConfig::default()
+        },
+        ..ObsConfig::on()
+    };
+    let run = || {
+        let mut k = server_kernel_obs(seed, 1 << 16, Some(cfg));
+        let stats = scenario_stats();
+        let server = k.spawn(Box::new(SpliceServer::new(
+            PORT,
+            "/d0/file",
+            FILE_BYTES,
+            conns,
+            conns as u32,
+            ServeMode::Splice,
+            Rc::clone(&stats),
+        )));
+        let window = Dur::from_ns(conns as u64 * 100_000);
+        for delay in open_loop_delays(conns, window, seed) {
+            k.spawn(Box::new(ServerClient::new(
+                addr(),
+                FILE_BYTES,
+                seed,
+                delay,
+                Rc::clone(&stats),
+            )));
+        }
+        let horizon = k.horizon(600);
+        k.run_to_exit(horizon);
+        assert!(
+            matches!(k.procs().must(server).state, ProcState::Exited(0)),
+            "SERVER_SEED={seed}: server failed"
+        );
+        let c = k.obs().counters();
+        assert_eq!(
+            c.violations, c.requests,
+            "SERVER_SEED={seed}: a 1 µs target must make every request violate"
+        );
+        assert_eq!(
+            c.committed, c.requests,
+            "SERVER_SEED={seed}: every violation must commit a span"
+        );
+        assert!(c.alerts >= 1, "SERVER_SEED={seed}: no alert fired");
+        let flight = k
+            .flight_json("server")
+            .expect("alert froze no flight dump")
+            .render_pretty();
+        let spans: Vec<ReqSpan> = k.obs().committed_spans().copied().collect();
+        (flight, spans)
+    };
+    let (flight_a, spans_a) = run();
+    let (flight_b, spans_b) = run();
+    assert_eq!(
+        flight_a, flight_b,
+        "SERVER_SEED={seed}: flight dump bytes diverged"
+    );
+    assert_eq!(
+        spans_a, spans_b,
+        "SERVER_SEED={seed}: committed spans diverged"
+    );
 }
